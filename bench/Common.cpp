@@ -1,0 +1,91 @@
+//===- bench/Common.cpp ----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gstm;
+
+static std::vector<std::string> splitList(const std::string &Csv) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Csv.size()) {
+    size_t Comma = Csv.find(',', Start);
+    if (Comma == std::string::npos) {
+      if (Start < Csv.size())
+        Out.push_back(Csv.substr(Start));
+      break;
+    }
+    if (Comma > Start)
+      Out.push_back(Csv.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+BenchOptions BenchOptions::parse(int Argc, char **Argv) {
+  Options Opts = Options::parse(Argc, Argv);
+  BenchOptions B;
+
+  std::string Threads = Opts.getString("threads", "8,16");
+  B.ThreadCounts.clear();
+  for (const std::string &T : splitList(Threads)) {
+    long V = std::strtol(T.c_str(), nullptr, 10);
+    if (V > 0 && V <= 64)
+      B.ThreadCounts.push_back(static_cast<unsigned>(V));
+  }
+  if (B.ThreadCounts.empty())
+    B.ThreadCounts = {8, 16};
+
+  B.ProfileRuns =
+      static_cast<unsigned>(Opts.getInt("profile-runs", B.ProfileRuns));
+  B.MeasureRuns = static_cast<unsigned>(Opts.getInt("runs", B.MeasureRuns));
+  B.Tfactor = Opts.getDouble("tfactor", B.Tfactor);
+  B.TrainSize = parseSizeClass(Opts.getString("train-size", "medium"));
+  B.MeasureSize = parseSizeClass(Opts.getString("size", "large"));
+  B.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+  B.ForceGuided = Opts.getBool("force-guided", B.ForceGuided);
+
+  std::string Names = Opts.getString("workloads", "");
+  B.Workloads = Names.empty() ? stampWorkloadNames() : splitList(Names);
+  return B;
+}
+
+ExperimentResult gstm::runStampExperiment(const std::string &Workload,
+                                          const BenchOptions &Opts,
+                                          unsigned Threads) {
+  auto Train = createStampWorkload(Workload, Opts.TrainSize);
+  auto Test = createStampWorkload(Workload, Opts.MeasureSize);
+  if (!Train || !Test) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n",
+                 Workload.c_str());
+    std::exit(1);
+  }
+
+  ExperimentConfig Cfg;
+  Cfg.Threads = Threads;
+  Cfg.ProfileRuns = Opts.ProfileRuns;
+  Cfg.MeasureRuns = Opts.MeasureRuns;
+  Cfg.Tfactor = Opts.Tfactor;
+  Cfg.ForceGuided = Opts.ForceGuided;
+  Cfg.ProfileSeedBase = Opts.Seed * 1000 + 1;
+  Cfg.MeasureSeedBase = Opts.Seed * 1000 + 500;
+  return runExperiment(*Train, *Test, Cfg);
+}
+
+void gstm::printBanner(const char *Title, const char *PaperRef,
+                       const BenchOptions &Opts) {
+  std::printf("== %s ==\n", Title);
+  std::printf("   reproduces: %s\n", PaperRef);
+  std::printf("   config: profile-runs=%u runs=%u tfactor=%.1f "
+              "train=%s measure=%s\n\n",
+              Opts.ProfileRuns, Opts.MeasureRuns, Opts.Tfactor,
+              sizeClassName(Opts.TrainSize),
+              sizeClassName(Opts.MeasureSize));
+}

@@ -1,0 +1,67 @@
+//===- bench/Common.h - Shared bench-harness plumbing ---------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared configuration and execution helpers for the per-table/figure
+/// bench binaries. Every binary accepts:
+///   --threads=8,16      thread counts to evaluate (paper: 8 and 16)
+///   --profile-runs=N    training runs (paper: 20)
+///   --runs=N            measurement runs per side (paper: 20)
+///   --tfactor=F         the Ph/Tfactor threshold knob (paper: 4)
+///   --train-size=medium --size=large   input classes (paper Fig. 1:
+///                       train on medium, guide on large)
+///   --workloads=a,b,c   subset of the STAMP ports
+///   --seed=N            base seed
+///
+/// Defaults are scaled so each binary completes in about a minute on a
+/// small machine; raise --runs/--profile-runs toward the paper's 20 for
+/// tighter statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_BENCH_COMMON_H
+#define GSTM_BENCH_COMMON_H
+
+#include "core/Experiment.h"
+#include "stamp/Registry.h"
+#include "support/Options.h"
+
+#include <string>
+#include <vector>
+
+namespace gstm {
+
+/// Parsed common bench options.
+struct BenchOptions {
+  std::vector<unsigned> ThreadCounts = {8, 16};
+  unsigned ProfileRuns = 6;
+  unsigned MeasureRuns = 8;
+  double Tfactor = 4.0;
+  SizeClass TrainSize = SizeClass::Medium;
+  SizeClass MeasureSize = SizeClass::Large;
+  std::vector<std::string> Workloads;
+  uint64_t Seed = 1;
+  /// Run the guided side even when the analyzer rejects the model (the
+  /// figures need guided data for every benchmark; Fig. 8 specifically
+  /// shows the rejected ssca2 degrading).
+  bool ForceGuided = true;
+
+  static BenchOptions parse(int Argc, char **Argv);
+};
+
+/// Runs the full experiment pipeline for \p Workload at \p Threads.
+ExperimentResult runStampExperiment(const std::string &Workload,
+                                    const BenchOptions &Opts,
+                                    unsigned Threads);
+
+/// Prints the standard bench banner (paper reference + configuration).
+void printBanner(const char *Title, const char *PaperRef,
+                 const BenchOptions &Opts);
+
+} // namespace gstm
+
+#endif // GSTM_BENCH_COMMON_H

@@ -1,0 +1,75 @@
+//===- bench/Figures.h - Shared figure-rendering helpers ------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-thread variance figures (4 and 6) and abort-tail figures
+/// (5 and 7) differ only in their thread count, so the rendering lives
+/// here and each figure binary sets its default thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_BENCH_FIGURES_H
+#define GSTM_BENCH_FIGURES_H
+
+#include "bench/Common.h"
+
+#include <cstdio>
+
+namespace gstm {
+
+/// Figures 4/6: per-thread % execution-time variance improvement of
+/// guided over default execution, one row per benchmark.
+inline void printVarianceFigure(const BenchOptions &Opts, unsigned Threads) {
+  std::printf("benchmark   per-thread %% stddev(exec time) improvement "
+              "(t0..t%u)\n",
+              Threads - 1);
+  for (const std::string &Name : Opts.Workloads) {
+    if (Name == "ssca2")
+      continue; // shown separately in Figure 8
+    ExperimentResult R = runStampExperiment(Name, Opts, Threads);
+    std::printf("%-10s", Name.c_str());
+    for (double V : R.varianceImprovementPercent())
+      std::printf(" %+6.1f", V);
+    std::printf("   (ND -%.0f%%, slowdown %.2fx)\n",
+                R.nondeterminismReductionPercent(), R.slowdownFactor());
+    std::fflush(stdout);
+  }
+}
+
+/// Figures 5/7: the tail of the abort distribution, default (D) versus
+/// guided (G), for one representative thread per benchmark. Buckets list
+/// `aborts:frequency`; the guided tail should be visibly shorter.
+inline void printAbortTailFigure(const BenchOptions &Opts, unsigned Threads,
+                                 unsigned FirstThread) {
+  unsigned Pick = FirstThread;
+  for (const std::string &Name : Opts.Workloads) {
+    if (Name == "ssca2")
+      continue; // shown separately in Figure 8
+    ExperimentResult R = runStampExperiment(Name, Opts, Threads);
+    unsigned Thread = Pick % Threads;
+    Pick = (Pick + 1) % Threads;
+
+    const AbortHistogram &Def = R.Default.ThreadHists[Thread];
+    const AbortHistogram &Gui = R.Guided.ThreadHists[Thread];
+    std::printf("%s thread %u  (tail metric: default %.0f, guided %.0f, "
+                "max aborts: %lu -> %lu)\n",
+                Name.c_str(), Thread, Def.tailMetric(), Gui.tailMetric(),
+                Def.maxAborts(), Gui.maxAborts());
+    std::printf("  D:");
+    for (const auto &[Aborts, Freq] : Def.buckets())
+      std::printf(" %lu:%lu", Aborts, Freq);
+    std::printf("\n  G:");
+    for (const auto &[Aborts, Freq] : Gui.buckets())
+      std::printf(" %lu:%lu", Aborts, Freq);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+} // namespace gstm
+
+#endif // GSTM_BENCH_FIGURES_H

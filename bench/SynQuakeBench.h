@@ -1,0 +1,112 @@
+//===- bench/SynQuakeBench.h - Shared SynQuake bench plumbing -------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared configuration for the SynQuake benches (Table V, Figures 11 and
+/// 12). Paper setup: 1000 players on a 1024x1024 map, trained on
+/// 4worst_case and 4moving, tested on 4quadrants and 4center_spread6.
+/// Defaults are scaled down (players/frames) to finish quickly; raise
+/// --players / --frames toward the paper's numbers as time allows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_BENCH_SYNQUAKEBENCH_H
+#define GSTM_BENCH_SYNQUAKEBENCH_H
+
+#include "support/Options.h"
+#include "synquake/Experiment.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace gstm {
+
+struct SynQuakeBenchOptions {
+  std::vector<unsigned> ThreadCounts = {8, 16};
+  uint32_t Players = 1000;
+  uint32_t Frames = 64;
+  uint32_t TrainFrames = 24;
+  unsigned ProfileRunsPerQuest = 2;
+  unsigned MeasureRuns = 6;
+  double Tfactor = 4.0;
+  uint64_t Seed = 1;
+
+  static SynQuakeBenchOptions parse(int Argc, char **Argv) {
+    Options Opts = Options::parse(Argc, Argv);
+    SynQuakeBenchOptions B;
+    B.ThreadCounts.clear();
+    std::string Threads = Opts.getString("threads", "8,16");
+    size_t Start = 0;
+    while (Start < Threads.size()) {
+      size_t Comma = Threads.find(',', Start);
+      std::string Tok = Threads.substr(
+          Start, Comma == std::string::npos ? std::string::npos
+                                            : Comma - Start);
+      long V = std::strtol(Tok.c_str(), nullptr, 10);
+      if (V > 0 && V <= 64)
+        B.ThreadCounts.push_back(static_cast<unsigned>(V));
+      if (Comma == std::string::npos)
+        break;
+      Start = Comma + 1;
+    }
+    if (B.ThreadCounts.empty())
+      B.ThreadCounts = {8, 16};
+    B.Players = static_cast<uint32_t>(Opts.getInt("players", B.Players));
+    B.Frames = static_cast<uint32_t>(Opts.getInt("frames", B.Frames));
+    B.TrainFrames =
+        static_cast<uint32_t>(Opts.getInt("train-frames", B.TrainFrames));
+    B.MeasureRuns = static_cast<unsigned>(Opts.getInt("runs", B.MeasureRuns));
+    B.ProfileRunsPerQuest = static_cast<unsigned>(
+        Opts.getInt("profile-runs", B.ProfileRunsPerQuest));
+    B.Tfactor = Opts.getDouble("tfactor", B.Tfactor);
+    B.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+    return B;
+  }
+};
+
+inline SynQuakeExperimentResult
+runSynQuakeBench(const SynQuakeBenchOptions &Opts, unsigned Threads,
+                 QuestPattern TestQuest) {
+  SynQuakeExperimentConfig Cfg;
+  Cfg.Threads = Threads;
+  Cfg.Game.NumPlayers = Opts.Players;
+  Cfg.Game.Frames = Opts.Frames;
+  Cfg.Game.Quest = TestQuest;
+  Cfg.TrainFrames = Opts.TrainFrames;
+  Cfg.ProfileRunsPerQuest = Opts.ProfileRunsPerQuest;
+  Cfg.MeasureRuns = Opts.MeasureRuns;
+  Cfg.Tfactor = Opts.Tfactor;
+  Cfg.ProfileSeedBase = Opts.Seed * 1000 + 11;
+  Cfg.MeasureSeedBase = Opts.Seed * 1000 + 611;
+  return runSynQuakeExperiment(Cfg);
+}
+
+/// Figures 11/12: one row per thread count with the three panels.
+inline void printSynQuakeFigure(const SynQuakeBenchOptions &Opts,
+                                QuestPattern Quest) {
+  std::printf("quest: %s, %u players, %u frames, trained on "
+              "4worst_case+4moving\n\n",
+              questPatternName(Quest), Opts.Players, Opts.Frames);
+  std::printf("threads  frame-var improve  abort-ratio cut  slowdown  "
+              "(frame stddev default -> guided, ms)\n");
+  for (unsigned T : Opts.ThreadCounts) {
+    SynQuakeExperimentResult R = runSynQuakeBench(Opts, T, Quest);
+    std::printf("%7u  %16.1f%%  %14.1f%%  %7.2fx  (%.3f -> %.3f)%s\n", T,
+                R.frameVarianceImprovementPercent(),
+                R.abortRatioReductionPercent(), R.slowdownFactor(),
+                R.Default.FrameStddev.mean() * 1e3,
+                R.Guided.FrameStddev.mean() * 1e3,
+                R.Default.AllVerified && R.Guided.AllVerified
+                    ? ""
+                    : "  [VERIFY FAILED]");
+    std::fflush(stdout);
+  }
+}
+
+} // namespace gstm
+
+#endif // GSTM_BENCH_SYNQUAKEBENCH_H

@@ -1,0 +1,26 @@
+//===- bench/fig11_synquake_quadrants.cpp -------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 11: SynQuake on the 4quadrants test quest — frame-
+// rate variance improvement, abort-ratio reduction and slowdown at 8 and
+// 16 threads (paper: up to ~65% variance cut, up to ~58% abort cut, and a
+// ~35% *speedup* at 8 threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/SynQuakeBench.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  SynQuakeBenchOptions Opts = SynQuakeBenchOptions::parse(Argc, Argv);
+  std::printf("== Figure 11: SynQuake quest 4quadrants ==\n");
+  std::printf("   reproduces: paper Fig. 11 (variance cut, abort cut, "
+              "speedup at 8t)\n\n");
+  printSynQuakeFigure(Opts, QuestPattern::Quadrants4);
+  return 0;
+}

@@ -1,0 +1,24 @@
+//===- bench/fig12_synquake_spread.cpp ----------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 12: SynQuake on the 4center_spread6 test quest
+// (paper: up to 64.7% frame-rate variance reduction at 16 threads).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/SynQuakeBench.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  SynQuakeBenchOptions Opts = SynQuakeBenchOptions::parse(Argc, Argv);
+  std::printf("== Figure 12: SynQuake quest 4center_spread6 ==\n");
+  std::printf("   reproduces: paper Fig. 12 (max 64.7%% variance cut at "
+              "16t)\n\n");
+  printSynQuakeFigure(Opts, QuestPattern::CenterSpread6);
+  return 0;
+}

@@ -1,0 +1,27 @@
+//===- bench/fig4_variance_8t.cpp --------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 4: percentage reduction of execution-time standard
+// deviation for each of 8 threads, per STAMP benchmark (paper: 1-53%
+// improvements across all threads of every benchmark except ssca2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Figures.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  printBanner("Figure 4: per-thread execution-time variance improvement, "
+              "8 threads",
+              "paper Fig. 4 (positive for every thread, all benchmarks "
+              "except ssca2)",
+              Opts);
+  printVarianceFigure(Opts, /*Threads=*/8);
+  return 0;
+}

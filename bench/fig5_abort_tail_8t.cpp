@@ -1,0 +1,26 @@
+//===- bench/fig5_abort_tail_8t.cpp ------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 5: the tail of the per-thread abort distribution,
+// default versus guided, with serially picked threads (0..6) at 8
+// threads. The paper's claim: guided execution cuts the tail (high abort
+// counts with non-zero frequency disappear).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Figures.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  printBanner("Figure 5: abort-distribution tails (default D vs guided G), "
+              "8 threads",
+              "paper Fig. 5 (guided tail visibly shorter)", Opts);
+  printAbortTailFigure(Opts, /*Threads=*/8, /*FirstThread=*/0);
+  return 0;
+}

@@ -1,0 +1,24 @@
+//===- bench/fig6_variance_16t.cpp -------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 6: per-thread execution-time variance improvement at
+// 16 threads (paper: up to 74%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Figures.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  printBanner("Figure 6: per-thread execution-time variance improvement, "
+              "16 threads",
+              "paper Fig. 6 (up to 74% reduction)", Opts);
+  printVarianceFigure(Opts, /*Threads=*/16);
+  return 0;
+}

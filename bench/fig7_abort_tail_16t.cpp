@@ -1,0 +1,24 @@
+//===- bench/fig7_abort_tail_16t.cpp -----------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Figure 7: abort-distribution tails with serially picked
+// threads (8..14) at 16 threads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Figures.h"
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  BenchOptions Opts = BenchOptions::parse(Argc, Argv);
+  printBanner("Figure 7: abort-distribution tails (default D vs guided G), "
+              "16 threads",
+              "paper Fig. 7 (guided tail visibly shorter)", Opts);
+  printAbortTailFigure(Opts, /*Threads=*/16, /*FirstThread=*/8);
+  return 0;
+}

@@ -1,0 +1,128 @@
+//===- bench/micro_stm_ops.cpp ------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Micro-benchmarks of the STM primitives (google-benchmark). Not a paper
+// figure; supports the overhead analysis: the paper's guided-execution
+// slowdowns bottom out in the per-transaction costs measured here (txn
+// begin/commit, transactional load/store, model lookup in the gate).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuidedPolicy.h"
+#include "libtm/LibTm.h"
+#include "stm/TVar.h"
+#include "stm/Tl2.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace gstm;
+
+static void BM_Tl2ReadOnlyTxn(benchmark::State &State) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{42};
+  Tl2Txn Txn(Stm, 0);
+  for (auto _ : State) {
+    uint64_t V = 0;
+    Txn.run(0, [&](Tl2Txn &Tx) { V = Tx.load(X); });
+    benchmark::DoNotOptimize(V);
+  }
+}
+BENCHMARK(BM_Tl2ReadOnlyTxn);
+
+static void BM_Tl2WriteTxn(benchmark::State &State) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0};
+  Tl2Txn Txn(Stm, 0);
+  for (auto _ : State)
+    Txn.run(0, [&](Tl2Txn &Tx) { Tx.store(X, Tx.load(X) + 1); });
+}
+BENCHMARK(BM_Tl2WriteTxn);
+
+static void BM_Tl2TxnBySize(benchmark::State &State) {
+  Tl2Stm Stm;
+  const size_t N = static_cast<size_t>(State.range(0));
+  std::vector<std::unique_ptr<TVar<uint64_t>>> Vars;
+  for (size_t I = 0; I < N; ++I)
+    Vars.push_back(std::make_unique<TVar<uint64_t>>(I));
+  Tl2Txn Txn(Stm, 0);
+  for (auto _ : State)
+    Txn.run(0, [&](Tl2Txn &Tx) {
+      for (auto &V : Vars)
+        Tx.store(*V, Tx.load(*V) + 1);
+    });
+  State.SetItemsProcessed(State.iterations() * N);
+}
+BENCHMARK(BM_Tl2TxnBySize)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_LibTmObjectTxn(benchmark::State &State) {
+  LibTm Tm;
+  struct Vec3 {
+    double X = 0, Y = 0, Z = 0;
+  };
+  TObj<Vec3> Obj;
+  LibTxn Txn(Tm, 0);
+  for (auto _ : State)
+    Txn.run(0, [&](LibTxn &Tx) {
+      Vec3 V = Tx.read(Obj);
+      V.X += 1;
+      Tx.write(Obj, V);
+    });
+}
+BENCHMARK(BM_LibTmObjectTxn);
+
+static void BM_GatePolicyLookup(benchmark::State &State) {
+  // Cost of one gate check against a compiled policy (the hot-path add-on
+  // of guided execution).
+  Tsa Model;
+  std::vector<StateTuple> Run;
+  for (int I = 0; I < 64; ++I) {
+    StateTuple S;
+    S.Commit = packPair(static_cast<TxId>(I % 4),
+                        static_cast<ThreadId>(I % 8));
+    if (I % 3 == 0)
+      S.Aborts.push_back(packPair(1, static_cast<ThreadId>((I + 1) % 8)));
+    S.canonicalize();
+    Run.push_back(S);
+  }
+  Model.addRun(Run);
+  GuidedPolicy Policy(std::move(Model), 4.0);
+
+  StateId S = 0;
+  for (auto _ : State) {
+    bool Allowed = Policy.allows(S, packPair(1, 3));
+    benchmark::DoNotOptimize(Allowed);
+    S = (S + 1) % Policy.model().numStates();
+  }
+}
+BENCHMARK(BM_GatePolicyLookup);
+
+static void BM_StateTupleIntern(benchmark::State &State) {
+  // Cost of resolving an observed tuple to a model state (per commit in
+  // guided runs).
+  Tsa Model;
+  std::vector<StateTuple> Run;
+  for (int I = 0; I < 256; ++I) {
+    StateTuple S;
+    S.Commit = packPair(static_cast<TxId>(I % 8),
+                        static_cast<ThreadId>(I % 16));
+    S.canonicalize();
+    Run.push_back(S);
+  }
+  Model.addRun(Run);
+  GuidedPolicy Policy(std::move(Model), 4.0);
+
+  StateTuple Probe;
+  Probe.Commit = packPair(3, 7);
+  Probe.canonicalize();
+  for (auto _ : State) {
+    StateId Id = Policy.resolve(Probe);
+    benchmark::DoNotOptimize(Id);
+  }
+}
+BENCHMARK(BM_StateTupleIntern);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+//===- core/Analyzer.cpp ---------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+
+#include <cassert>
+
+using namespace gstm;
+
+std::vector<TsaEdge> gstm::highProbabilitySuccessors(const Tsa &Model,
+                                                     StateId State,
+                                                     double Tfactor) {
+  assert(Tfactor >= 1.0 && "Tfactor below 1 would reject the best edge");
+  std::vector<TsaEdge> Edges = Model.successors(State);
+  if (Edges.empty())
+    return Edges;
+  // successors() sorts by descending probability, so the head is Pmax.
+  double Threshold = Edges.front().Probability / Tfactor;
+  size_t Keep = 0;
+  while (Keep < Edges.size() && Edges[Keep].Probability >= Threshold)
+    ++Keep;
+  Edges.resize(Keep);
+  return Edges;
+}
+
+AnalyzerReport gstm::analyzeModel(const Tsa &Model,
+                                  const AnalyzerConfig &Config) {
+  AnalyzerReport Report;
+  Report.NumStates = Model.numStates();
+  Report.NumTransitions = Model.numTransitions();
+
+  uint64_t TotalOut = 0;
+  uint64_t TotalGuided = 0;
+  size_t StatesWithEdges = 0;
+  for (StateId S = 0; S < Model.numStates(); ++S) {
+    std::vector<TsaEdge> Out = Model.successors(S);
+    if (Out.empty())
+      continue;
+    ++StatesWithEdges;
+    TotalOut += Out.size();
+    TotalGuided +=
+        highProbabilitySuccessors(Model, S, Config.Tfactor).size();
+  }
+
+  if (TotalOut != 0)
+    Report.GuidanceMetricPercent =
+        100.0 * static_cast<double>(TotalGuided) /
+        static_cast<double>(TotalOut);
+  if (StatesWithEdges != 0) {
+    Report.MeanOutDegree = static_cast<double>(TotalOut) /
+                           static_cast<double>(StatesWithEdges);
+    Report.MeanGuidedOutDegree = static_cast<double>(TotalGuided) /
+                                 static_cast<double>(StatesWithEdges);
+  }
+
+  Report.Optimizable =
+      Report.NumStates >= Config.MinStates && TotalOut != 0 &&
+      Report.GuidanceMetricPercent < Config.MetricRejectThreshold;
+  return Report;
+}

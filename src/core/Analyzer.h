@@ -1,0 +1,68 @@
+//===- core/Analyzer.h - Model analysis (guidance metric) ----------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The model-analysis phase (paper Sec. IV): before using a model for
+/// guidance, verify that the bias needed to guide execution exists. The
+/// *guidance metric* is the percentage ratio of the number of transition
+/// states reachable under guidance (the high-probability subset D(s),
+/// threshold Ph/Tfactor) to the number reachable unguided, summed over all
+/// states. Lower is better; above ~50 the transition distribution is near
+/// uniform (|S| ~= |S'|) and guidance cannot reduce variance — the paper's
+/// analyzer correctly rejects ssca2 on this basis (Table I: 72% / 57%).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_ANALYZER_H
+#define GSTM_CORE_ANALYZER_H
+
+#include "core/Tsa.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace gstm {
+
+/// Tunables of the analysis phase.
+struct AnalyzerConfig {
+  /// The paper's Tfactor knob (Sec. VI): a destination is considered high
+  /// probability when its probability is >= Pmax / Tfactor. The paper
+  /// sweeps 1..10 and settles on 4.
+  double Tfactor = 4.0;
+  /// Guidance-metric percentage above which the model is rejected.
+  double MetricRejectThreshold = 50.0;
+  /// Models with fewer states than this carry too little structure to
+  /// guide ("if the model contains too few states ... unfit").
+  size_t MinStates = 4;
+};
+
+/// Result of analyzing one model.
+struct AnalyzerReport {
+  /// 100 * sum_s |D(s)| / sum_s |successors(s)| (paper Tables I and V).
+  double GuidanceMetricPercent = 0.0;
+  size_t NumStates = 0;
+  uint64_t NumTransitions = 0;
+  /// Mean out-degree over states with at least one outbound edge.
+  double MeanOutDegree = 0.0;
+  /// Mean |D(s)| over the same states.
+  double MeanGuidedOutDegree = 0.0;
+  /// Verdict: worth guiding with (metric below threshold, enough states).
+  bool Optimizable = false;
+};
+
+/// Returns the destinations of \p State whose probability is at least
+/// Pmax/Tfactor — the paper's set D of allowed transitions.
+std::vector<TsaEdge> highProbabilitySuccessors(const Tsa &Model,
+                                               StateId State, double Tfactor);
+
+/// Analyzes \p Model per the paper's Sec. IV procedure.
+AnalyzerReport analyzeModel(const Tsa &Model,
+                            const AnalyzerConfig &Config = AnalyzerConfig());
+
+} // namespace gstm
+
+#endif // GSTM_CORE_ANALYZER_H

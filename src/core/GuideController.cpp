@@ -1,0 +1,78 @@
+//===- core/GuideController.cpp --------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuideController.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace gstm;
+
+void GuideController::onTxStart(ThreadId Thread, TxId Tx) {
+  GateChecks.fetch_add(1, std::memory_order_relaxed);
+  TxThreadPair Self = packPair(Tx, Thread);
+
+  StateId State = Current.load(std::memory_order_acquire);
+  if (Policy.allows(State, Self))
+    return;
+
+  Holds.fetch_add(1, std::memory_order_relaxed);
+  for (uint32_t Retry = 0; Retry < Cfg.MaxGateRetries; ++Retry) {
+    // Let the threads that *are* allowed make progress; one of their
+    // commits may move the current state to one that admits us.
+    if (Cfg.GateSleepMicros == 0)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(Cfg.GateSleepMicros));
+    State = Current.load(std::memory_order_acquire);
+    if (Policy.allows(State, Self))
+      return;
+  }
+  // k retries exhausted: release to guarantee progress (paper Sec. V).
+  ForcedReleases.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GuideController::onCommit(const CommitEvent &E) {
+  StateTuple Tuple;
+  Tuple.Commit = packPair(E.Tx, E.Thread);
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    Tuple.Aborts = std::move(PendingAborts);
+    PendingAborts.clear();
+  }
+  Tuple.canonicalize();
+
+  StateId Resolved = Policy.resolve(Tuple);
+  if (Resolved == UnknownState)
+    UnknownStates.fetch_add(1, std::memory_order_relaxed);
+  else
+    KnownStates.fetch_add(1, std::memory_order_relaxed);
+  Current.store(Resolved, std::memory_order_release);
+
+  if (Downstream)
+    Downstream->onCommit(E);
+}
+
+void GuideController::onAbort(const AbortEvent &E) {
+  {
+    std::lock_guard<std::mutex> Lock(PendingMutex);
+    PendingAborts.push_back(packPair(E.Tx, E.Thread));
+  }
+  if (Downstream)
+    Downstream->onAbort(E);
+}
+
+GuideStats GuideController::stats() const {
+  GuideStats S;
+  S.GateChecks = GateChecks.load(std::memory_order_relaxed);
+  S.Holds = Holds.load(std::memory_order_relaxed);
+  S.ForcedReleases = ForcedReleases.load(std::memory_order_relaxed);
+  S.UnknownStates = UnknownStates.load(std::memory_order_relaxed);
+  S.KnownStates = KnownStates.load(std::memory_order_relaxed);
+  return S;
+}

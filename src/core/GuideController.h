@@ -1,0 +1,115 @@
+//===- core/GuideController.h - Online guided-execution controller -------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime half of guided execution (paper Sec. V, Fig. 2). The
+/// controller plugs into an STM as both StartGate and TxEventObserver:
+///
+///  * As observer it tracks the *current* thread transactional state: each
+///    commit closes a tuple (commit + aborts logged since the previous
+///    commit) which is resolved against the model. Unknown tuples set the
+///    current state to UnknownState so execution proceeds unimpeded until
+///    a known state is re-entered, exactly as the paper prescribes for
+///    states the training runs never captured.
+///
+///  * As gate it withholds a thread whose (transaction, thread) pair is
+///    not part of any high-probability destination of the current state,
+///    re-checking as concurrent commits move the current state. After k
+///    unsuccessful re-checks the thread is released to avoid deadlock and
+///    ensure progress (the paper's k-retry rule).
+///
+/// Events are forwarded to an optional downstream observer so profiling
+/// metrics can still be collected during guided runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_GUIDECONTROLLER_H
+#define GSTM_CORE_GUIDECONTROLLER_H
+
+#include "core/GuidedPolicy.h"
+#include "core/Trace.h"
+#include "stm/Observer.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace gstm {
+
+/// Tunables of the online controller.
+struct GuideConfig {
+  /// The paper's k: gate re-checks before a held thread is force-released.
+  uint32_t MaxGateRetries = 8;
+  /// Sleep between gate re-checks, in microseconds; 0 means yield only.
+  /// A real sleep (rather than a yield loop) frees the CPU for the
+  /// threads that can move the current state forward and, unlike
+  /// spinning, consumes no CPU time in the held thread — so the gate does
+  /// not pollute the per-thread execution-time metric it exists to
+  /// stabilize.
+  uint32_t GateSleepMicros = 20;
+};
+
+/// Counters describing what the gate did during a run.
+struct GuideStats {
+  uint64_t GateChecks = 0;
+  /// Gate invocations that were held back at least once.
+  uint64_t Holds = 0;
+  /// Holds that exhausted k retries and were force-released.
+  uint64_t ForcedReleases = 0;
+  /// Commits whose tuple was not in the model (current state unknown).
+  uint64_t UnknownStates = 0;
+  uint64_t KnownStates = 0;
+};
+
+/// Online guided-execution controller. One instance per guided run.
+class GuideController : public StartGate, public TxEventObserver {
+public:
+  /// \p Policy must outlive the controller. \p Downstream (optional)
+  /// receives every event after state tracking.
+  GuideController(const GuidedPolicy &Policy, const GuideConfig &Config,
+                  TxEventObserver *Downstream = nullptr)
+      : Policy(Policy), Cfg(Config), Downstream(Downstream) {}
+
+  // StartGate: hold low-probability transactions back.
+  void onTxStart(ThreadId Thread, TxId Tx) override;
+
+  // TxEventObserver: track the current state.
+  void onCommit(const CommitEvent &E) override;
+  void onAbort(const AbortEvent &E) override;
+
+  /// Current state as last resolved (UnknownState before the first commit
+  /// and after any unmodeled tuple).
+  StateId currentState() const {
+    return Current.load(std::memory_order_acquire);
+  }
+
+  /// Snapshot of the gate counters. Not synchronized with running
+  /// workers; call after the run has quiesced for exact values.
+  GuideStats stats() const;
+
+private:
+  const GuidedPolicy &Policy;
+  GuideConfig Cfg;
+  TxEventObserver *Downstream;
+
+  std::atomic<StateId> Current{UnknownState};
+
+  /// Serializes tuple formation. Aborts/commits are frequent but short;
+  /// the workloads' transaction bodies dominate.
+  std::mutex PendingMutex;
+  std::vector<TxThreadPair> PendingAborts;
+
+  std::atomic<uint64_t> GateChecks{0};
+  std::atomic<uint64_t> Holds{0};
+  std::atomic<uint64_t> ForcedReleases{0};
+  std::atomic<uint64_t> UnknownStates{0};
+  std::atomic<uint64_t> KnownStates{0};
+};
+
+} // namespace gstm
+
+#endif // GSTM_CORE_GUIDECONTROLLER_H

@@ -1,0 +1,25 @@
+//===- core/GuidedPolicy.cpp -----------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuidedPolicy.h"
+
+using namespace gstm;
+
+GuidedPolicy::GuidedPolicy(Tsa ModelIn, double TfactorIn)
+    : Model(std::move(ModelIn)), Tfactor(TfactorIn) {
+  Allowed.resize(Model.numStates());
+  for (StateId S = 0; S < Model.numStates(); ++S) {
+    PairSet &Set = Allowed[S];
+    for (const TsaEdge &Edge :
+         highProbabilitySuccessors(Model, S, Tfactor)) {
+      const StateTuple &Dest = Model.state(Edge.Dest);
+      Set.Pairs.insert(Dest.Commit);
+      for (TxThreadPair P : Dest.Aborts)
+        Set.Pairs.insert(P);
+    }
+  }
+}

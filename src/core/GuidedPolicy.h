@@ -1,0 +1,82 @@
+//===- core/GuidedPolicy.h - Compiled guidance policy --------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guided-execution policy compiled from a validated model (paper
+/// Secs. V/VI): for every state s, the set D(s) of high-probability
+/// destination states (probability >= Pmax/Tfactor) is reduced to the set
+/// of (transaction, thread) pairs that appear — as commit *or* abort — in
+/// any tuple of D(s). A thread starting transaction a is allowed to
+/// proceed from state s iff <a,thread> is in that set. The compiled form
+/// is one hash-set probe per check, the analogue of the paper's "model is
+/// cut down ... stored in an efficient bitwise structure" with hash-map
+/// destination lookup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_GUIDEDPOLICY_H
+#define GSTM_CORE_GUIDEDPOLICY_H
+
+#include "core/Analyzer.h"
+#include "core/Tsa.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+namespace gstm {
+
+/// Immutable, shareable guidance policy. Build once after model analysis;
+/// consult concurrently from all workers.
+class GuidedPolicy {
+public:
+  /// Compiles the policy from \p Model with the paper's threshold rule
+  /// Ph/Tfactor. The model is copied into the policy so the policy owns
+  /// everything it needs.
+  GuidedPolicy(Tsa Model, double Tfactor);
+
+  /// True when (transaction, thread) pair \p P may start while the system
+  /// is in state \p Current. Unknown states always allow.
+  bool allows(StateId Current, TxThreadPair P) const {
+    if (Current == UnknownState || Current >= Allowed.size())
+      return true;
+    const PairSet &Set = Allowed[Current];
+    // A state with no recorded outbound transitions gives no guidance.
+    if (Set.Pairs.empty())
+      return true;
+    return Set.Pairs.count(P) != 0;
+  }
+
+  /// Maps an observed tuple to a model state (UnknownState when the model
+  /// never saw it; guided execution then lets threads run freely until the
+  /// system re-enters a known state, per the paper).
+  StateId resolve(const StateTuple &S) const {
+    auto Id = Model.lookup(S);
+    return Id ? *Id : UnknownState;
+  }
+
+  const Tsa &model() const { return Model; }
+  double tfactor() const { return Tfactor; }
+
+  /// Number of allowed pairs for \p State (exposed for tests/benches).
+  size_t allowedPairCount(StateId State) const {
+    return State < Allowed.size() ? Allowed[State].Pairs.size() : 0;
+  }
+
+private:
+  struct PairSet {
+    std::unordered_set<TxThreadPair> Pairs;
+  };
+
+  Tsa Model;
+  double Tfactor;
+  std::vector<PairSet> Allowed;
+};
+
+} // namespace gstm
+
+#endif // GSTM_CORE_GUIDEDPOLICY_H

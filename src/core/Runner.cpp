@@ -1,0 +1,87 @@
+//===- core/Runner.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+
+#include "support/Barrier.h"
+#include "support/Timer.h"
+
+#include <cassert>
+#include <ctime>
+#include <memory>
+#include <thread>
+
+namespace {
+/// CPU time consumed by the calling thread, in seconds.
+double threadCpuSeconds() {
+  timespec Ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
+  return static_cast<double>(Ts.tv_sec) +
+         static_cast<double>(Ts.tv_nsec) * 1e-9;
+}
+} // namespace
+
+using namespace gstm;
+
+RunResult gstm::runWorkloadOnce(TlWorkload &Workload,
+                                const RunnerConfig &Config, uint64_t Seed,
+                                const GuidedPolicy *Policy) {
+  assert(Config.Threads > 0 && "need at least one worker");
+
+  Tl2Stm Stm(Config.Stm);
+  if (Config.Cm)
+    Stm.setContentionManager(Config.Cm);
+  TraceCollector Collector(Config.Threads);
+  std::unique_ptr<GuideController> Controller;
+
+  TxEventObserver *Downstream =
+      Config.CollectTrace ? &Collector : nullptr;
+  if (Policy) {
+    Controller =
+        std::make_unique<GuideController>(*Policy, Config.Guide, Downstream);
+    Stm.setObserver(Controller.get());
+    Stm.setGate(Controller.get());
+  } else {
+    Stm.setObserver(Downstream);
+  }
+
+  Workload.setup(Stm, Config.Threads, Seed);
+
+  RunResult Result;
+  Result.ThreadSeconds.assign(Config.Threads, 0.0);
+
+  Barrier Start(Config.Threads + 1);
+  std::vector<std::thread> Workers;
+  Workers.reserve(Config.Threads);
+  for (unsigned T = 0; T < Config.Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Start.arriveAndWait();
+      double CpuStart = threadCpuSeconds();
+      Workload.threadBody(Stm, static_cast<ThreadId>(T));
+      Result.ThreadSeconds[T] = threadCpuSeconds() - CpuStart;
+    });
+  }
+
+  Timer WallTimer;
+  Start.arriveAndWait();
+  for (std::thread &W : Workers)
+    W.join();
+  Result.WallSeconds = WallTimer.elapsedSeconds();
+
+  Result.Commits = Stm.stats().Commits.load(std::memory_order_relaxed);
+  Result.Aborts = Stm.stats().Aborts.load(std::memory_order_relaxed);
+  if (Config.CollectTrace) {
+    Result.ThreadHists = Collector.abortHistograms();
+    Result.Tuples = groupTuples(Collector.takeTrace(), Config.GroupMode);
+  }
+  if (Controller)
+    Result.Guide = Controller->stats();
+
+  Result.Verified = Workload.verify(Stm);
+  Workload.teardown();
+  return Result;
+}

@@ -1,0 +1,83 @@
+//===- core/Runner.h - Single-run execution driver ------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes one run of a workload — default or guided — and collects what
+/// the paper measures: per-thread execution time of the thread function,
+/// per-thread abort histograms, the grouped thread-transactional-state
+/// sequence, and gate statistics for guided runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_RUNNER_H
+#define GSTM_CORE_RUNNER_H
+
+#include "core/GuideController.h"
+#include "core/Trace.h"
+#include "core/Workload.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gstm {
+
+/// STM configuration used by experiment runs: scheduler perturbation on
+/// (see Tl2Config::PreemptShift) so transactions overlap even when the
+/// host has fewer cores than workers.
+inline Tl2Config experimentStmConfig() {
+  Tl2Config Cfg;
+  Cfg.PreemptShift = 5;
+  return Cfg;
+}
+
+/// Per-run configuration shared by default and guided executions.
+struct RunnerConfig {
+  unsigned Threads = 8;
+  Grouping GroupMode = Grouping::Sequence;
+  Tl2Config Stm = experimentStmConfig();
+  GuideConfig Guide;
+  /// Optional contention manager installed into the run's STM (baseline
+  /// comparisons); must outlive the run. Not owned.
+  ContentionManager *Cm = nullptr;
+  /// When false, the event trace is not recorded (lowest overhead; used
+  /// for pure timing comparisons).
+  bool CollectTrace = true;
+};
+
+/// Everything measured during one run.
+struct RunResult {
+  /// Execution time of each worker's thread function, in seconds. On a
+  /// host with at least as many cores as workers this is wall time, the
+  /// paper's metric. When workers time-share cores, every thread's wall
+  /// time collapses to the global run duration and the per-thread
+  /// variance channel disappears, so the runner records per-thread *CPU*
+  /// time instead — it still reflects the thread's own committed and
+  /// aborted work (see DESIGN.md, substitutions).
+  std::vector<double> ThreadSeconds;
+  /// Per-thread distribution of aborts-before-commit.
+  std::vector<AbortHistogram> ThreadHists;
+  /// Thread-transactional-state sequence of the run (empty when trace
+  /// collection is off).
+  std::vector<StateTuple> Tuples;
+  uint64_t Commits = 0;
+  uint64_t Aborts = 0;
+  double WallSeconds = 0.0;
+  /// Gate counters (all zero for unguided runs).
+  GuideStats Guide;
+  /// Result of the workload's own invariant check.
+  bool Verified = true;
+};
+
+/// Runs \p Workload once with \p Config on input \p Seed. When \p Policy
+/// is non-null the run is guided by it; otherwise it is a default run.
+RunResult runWorkloadOnce(TlWorkload &Workload, const RunnerConfig &Config,
+                          uint64_t Seed, const GuidedPolicy *Policy);
+
+} // namespace gstm
+
+#endif // GSTM_CORE_RUNNER_H

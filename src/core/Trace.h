@@ -1,0 +1,100 @@
+//===- core/Trace.h - Transaction sequence capture and grouping ----------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-execution phase of the paper's framework: a modified STM
+/// "captures all commits and the corresponding aborts" into a transaction
+/// sequence (Tseq). TraceCollector is the TxEventObserver that records the
+/// stream; groupTuples() parses a Tseq into the sequence of thread
+/// transactional states from which the model is generated (Algorithm 1).
+///
+/// Two grouping modes are provided:
+///  * Sequence — each commit absorbs the aborts logged since the previous
+///    commit. This is cheap enough to run online and is what guided
+///    execution uses to track the current state, so models intended for
+///    guidance are built in this mode (the default).
+///  * Causal — each abort attaches to the commit that caused it, using the
+///    attribution the STM provides (lock-owner identity or commit-ring
+///    version lookup). Offline-only; used to ablate how much precise
+///    attribution changes the model (DESIGN.md Sec. 5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_TRACE_H
+#define GSTM_CORE_TRACE_H
+
+#include "core/Tts.h"
+#include "stm/Observer.h"
+#include "support/Stats.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace gstm {
+
+/// One entry of the captured transaction sequence.
+struct TraceEvent {
+  /// Global capture order (atomic counter at emission time).
+  uint64_t Seq;
+  /// Commit version for commits (0 for read-only); conflict-exposing
+  /// version for aborts when known (else 0).
+  uint64_t Version;
+  ThreadId Thread;
+  TxId Tx;
+  bool IsCommit;
+  /// Abort-only fields.
+  AbortCauseKind Kind = AbortCauseKind::UnknownCommitter;
+  TxThreadPair Cause = 0;
+  /// Commit-only: aborted attempts this transaction suffered first.
+  uint32_t PriorAborts = 0;
+};
+
+/// How aborts are grouped with commits when parsing a Tseq into states.
+enum class Grouping : uint8_t { Sequence, Causal };
+
+/// Thread-safe recorder of the transaction event stream.
+///
+/// Each worker thread appends to its own buffer (no locking on the hot
+/// path); a global atomic sequence number provides the interleaving order.
+/// Attach to an STM with Tl2Stm::setObserver (or via GuideController's
+/// downstream slot when a run is guided).
+class TraceCollector : public TxEventObserver {
+public:
+  explicit TraceCollector(unsigned NumThreads)
+      : PerThread(NumThreads) {}
+
+  void onCommit(const CommitEvent &E) override;
+  void onAbort(const AbortEvent &E) override;
+
+  /// Merges the per-thread buffers into one stream ordered by capture
+  /// sequence. Call after all workers have joined.
+  std::vector<TraceEvent> takeTrace();
+
+  /// Builds per-thread histograms of "aborts suffered before commit" from
+  /// the recorded commits (the distributions of paper Figures 5/7/8).
+  std::vector<AbortHistogram> abortHistograms() const;
+
+  /// Clears all buffers for reuse.
+  void reset();
+
+private:
+  struct alignas(64) Buffer {
+    std::vector<TraceEvent> Events;
+  };
+  std::atomic<uint64_t> NextSeq{0};
+  std::vector<Buffer> PerThread;
+};
+
+/// Parses an ordered Tseq into the sequence of thread transactional
+/// states under the given \p Mode. Tuples are canonicalized.
+std::vector<StateTuple> groupTuples(const std::vector<TraceEvent> &Trace,
+                                    Grouping Mode);
+
+} // namespace gstm
+
+#endif // GSTM_CORE_TRACE_H

@@ -1,0 +1,58 @@
+//===- core/Tts.cpp --------------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Tts.h"
+
+#include <algorithm>
+
+using namespace gstm;
+
+void StateTuple::canonicalize() {
+  std::sort(Aborts.begin(), Aborts.end());
+  Aborts.erase(std::unique(Aborts.begin(), Aborts.end()), Aborts.end());
+}
+
+static void appendPair(std::string &Out, TxThreadPair P) {
+  TxId Tx = pairTx(P);
+  if (Tx < 26)
+    Out += static_cast<char>('a' + Tx);
+  else {
+    Out += 't';
+    Out += std::to_string(Tx);
+  }
+  Out += std::to_string(pairThread(P));
+}
+
+std::string StateTuple::format() const {
+  std::string Out = "{";
+  if (!Aborts.empty()) {
+    Out += "<";
+    for (size_t I = 0; I < Aborts.size(); ++I) {
+      if (I != 0)
+        Out += ' ';
+      appendPair(Out, Aborts[I]);
+    }
+    Out += ">, ";
+  }
+  Out += "<";
+  appendPair(Out, Commit);
+  Out += ">}";
+  return Out;
+}
+
+size_t StateTupleHash::operator()(const StateTuple &S) const {
+  // FNV-1a over the commit pair and the canonical abort list.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  auto Mix = [&H](uint32_t V) {
+    H ^= V;
+    H *= 0x100000001b3ULL;
+  };
+  Mix(S.Commit);
+  for (TxThreadPair P : S.Aborts)
+    Mix(P);
+  return static_cast<size_t>(H);
+}

@@ -1,0 +1,69 @@
+//===- core/Tts.h - Thread transactional state tuples ---------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central abstraction: a *thread transactional state* (TTS)
+/// captures the outcome of one commit in a concurrently transacting
+/// application — the (transaction, thread) pair that committed together
+/// with the (transaction, thread) pairs it caused to abort. In the paper's
+/// notation, `{<a1 c2 e5>, <c3>}` means thread 3 committed transaction c,
+/// aborting thread 1 in a, thread 2 in c and thread 5 in e; `{<c3>}` alone
+/// is an uncontended commit.
+///
+/// The total number of *distinct* TTSes exercised by an application is the
+/// paper's measure of non-determinism (Sec. II-B).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_CORE_TTS_H
+#define GSTM_CORE_TTS_H
+
+#include "support/Ids.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gstm {
+
+/// A dense identifier assigned to an interned state tuple.
+using StateId = uint32_t;
+
+/// Sentinel for "not a state known to the model".
+inline constexpr StateId UnknownState = ~StateId{0};
+
+/// One thread transactional state: a commit plus the aborts grouped with
+/// it. Always store via canonicalize() so equal states compare equal.
+struct StateTuple {
+  /// The committing (transaction, thread) pair.
+  TxThreadPair Commit = 0;
+  /// The aborted (transaction, thread) pairs, sorted ascending after
+  /// canonicalize(). Duplicates are kept collapsed: the *set* of aborted
+  /// thread-transactions defines the state, matching the paper's tuples
+  /// which list each aborted thread once per commit.
+  std::vector<TxThreadPair> Aborts;
+
+  /// Sorts and deduplicates the abort set.
+  void canonicalize();
+
+  bool operator==(const StateTuple &Other) const {
+    return Commit == Other.Commit && Aborts == Other.Aborts;
+  }
+
+  /// Renders the paper's notation, e.g. "{<a1 b2>, <d4>}". Transaction ids
+  /// 0..25 print as letters a..z; larger ids print as t<id>.
+  std::string format() const;
+};
+
+/// Hash functor for interning state tuples.
+struct StateTupleHash {
+  size_t operator()(const StateTuple &S) const;
+};
+
+} // namespace gstm
+
+#endif // GSTM_CORE_TTS_H

@@ -1,0 +1,205 @@
+//===- libtm/LibTm.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "libtm/LibTm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace gstm;
+
+void LibTxn::begin(TxId Tx) {
+  CurrentTx = Tx;
+  Rv = S.clock().sample();
+  ReadSet.clear();
+  WriteObjs.clear();
+  WriteIndex.clear();
+  WriteData.clear();
+  Acquired.clear();
+}
+
+void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
+  maybePreempt();
+  // Read-after-write: serve the buffered payload.
+  auto It = WriteIndex.find(&Obj);
+  if (It != WriteIndex.end()) {
+    const uint64_t *Buffered = &WriteData[It->second];
+    std::copy(Buffered, Buffered + Obj.numWords(), Out);
+    return;
+  }
+
+  uint64_t Pre = Obj.meta().load(std::memory_order_acquire);
+  StripeState PreState = LockTable::decode(Pre);
+  if (PreState.Locked)
+    abortOnOwner(PreState.Owner);
+
+  std::atomic<uint64_t> *Words = Obj.words();
+  for (size_t I = 0, E = Obj.numWords(); I != E; ++I)
+    Out[I] = Words[I].load(std::memory_order_acquire);
+
+  uint64_t Post = Obj.meta().load(std::memory_order_acquire);
+  if (Post != Pre) {
+    StripeState PostState = LockTable::decode(Post);
+    if (PostState.Locked)
+      abortOnOwner(PostState.Owner);
+    abortOnVersion(PostState.Version);
+  }
+  if (PreState.Version > Rv)
+    abortOnVersion(PreState.Version);
+
+  ReadSet.push_back(&Obj);
+}
+
+void LibTxn::writeWords(TObjBase &Obj, const uint64_t *In) {
+  maybePreempt();
+  auto It = WriteIndex.find(&Obj);
+  if (It != WriteIndex.end()) {
+    std::copy(In, In + Obj.numWords(), &WriteData[It->second]);
+    return;
+  }
+  size_t Offset = WriteData.size();
+  WriteIndex.emplace(&Obj, Offset);
+  WriteObjs.push_back(&Obj);
+  WriteData.insert(WriteData.end(), In, In + Obj.numWords());
+}
+
+void LibTxn::commitOrThrow(uint32_t PriorAborts) {
+  Tl2Stats &Stats = S.stats();
+  TxThreadPair Self = packPair(CurrentTx, Thread);
+
+  if (WriteObjs.empty()) {
+    Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+    if (TxEventObserver *Obs = S.observer())
+      Obs->onCommit(CommitEvent{Thread, CurrentTx, 0, PriorAborts});
+    return;
+  }
+
+  // Lock the written objects in address order (deadlock-free); readers
+  // are never blocked — they abort if they validate against us, which is
+  // LibTM's abort-readers resolution.
+  std::sort(WriteObjs.begin(), WriteObjs.end());
+  for (TObjBase *Obj : WriteObjs) {
+    uint64_t Old = Obj->meta().load(std::memory_order_relaxed);
+    for (;;) {
+      StripeState OldState = LockTable::decode(Old);
+      if (OldState.Locked) {
+        releaseAcquiredLocks();
+        abortOnOwner(OldState.Owner);
+      }
+      if (Obj->meta().compare_exchange_weak(
+              Old, LockTable::encodeLocked(Self),
+              std::memory_order_acq_rel, std::memory_order_relaxed))
+        break;
+    }
+    Acquired.push_back({Obj, Old});
+  }
+
+  uint64_t Wv = S.clock().advance();
+  if (Wv != Rv + 1) {
+    for (TObjBase *Obj : ReadSet) {
+      uint64_t Word = Obj->meta().load(std::memory_order_acquire);
+      StripeState State = LockTable::decode(Word);
+      if (State.Locked) {
+        if (State.Owner != Self) {
+          releaseAcquiredLocks();
+          abortOnOwner(State.Owner);
+        }
+        // Locked by self (object is also written): validate the version
+        // the object had when we locked it, or a commit that interleaved
+        // between our read and our lock goes undetected.
+        auto It = std::lower_bound(
+            Acquired.begin(), Acquired.end(), Obj,
+            [](const std::pair<TObjBase *, uint64_t> &L, TObjBase *Ptr) {
+              return L.first < Ptr;
+            });
+        assert(It != Acquired.end() && It->first == Obj &&
+               "self-locked object missing from the acquired list");
+        StripeState PreLock = LockTable::decode(It->second);
+        if (PreLock.Version > Rv) {
+          releaseAcquiredLocks();
+          abortOnVersion(PreLock.Version);
+        }
+        continue;
+      }
+      if (State.Version > Rv) {
+        releaseAcquiredLocks();
+        abortOnVersion(State.Version);
+      }
+    }
+  }
+
+  S.commitRing().record(Wv, Self);
+
+  for (TObjBase *Obj : WriteObjs) {
+    const uint64_t *In = &WriteData[WriteIndex[Obj]];
+    std::atomic<uint64_t> *Words = Obj->words();
+    for (size_t I = 0, E = Obj->numWords(); I != E; ++I)
+      Words[I].store(In[I], std::memory_order_release);
+  }
+  for (auto &[Obj, Old] : Acquired) {
+    (void)Old;
+    Obj->meta().store(LockTable::encodeVersion(Wv),
+                      std::memory_order_release);
+  }
+  Acquired.clear();
+
+  Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+  if (TxEventObserver *Obs = S.observer())
+    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts});
+}
+
+void LibTxn::releaseAcquiredLocks() {
+  for (auto It = Acquired.rbegin(); It != Acquired.rend(); ++It)
+    It->first->meta().store(It->second, std::memory_order_release);
+  Acquired.clear();
+}
+
+void LibTxn::abortOnOwner(TxThreadPair Owner) {
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                 AbortCauseKind::KnownCommitter, Owner, 0});
+}
+
+void LibTxn::abortOnVersion(uint64_t Version) {
+  TxThreadPair Committer;
+  if (S.commitRing().lookup(Version, Committer))
+    reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                   AbortCauseKind::KnownCommitter,
+                                   Committer, Version});
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                 AbortCauseKind::UnknownCommitter, 0,
+                                 Version});
+}
+
+void LibTxn::retryAbort() {
+  reportAbortAndThrow(
+      AbortEvent{Thread, CurrentTx, AbortCauseKind::Explicit, 0, 0});
+}
+
+void LibTxn::reportAbortAndThrow(const AbortEvent &E) {
+  assert(Acquired.empty() && "locks must be released before reporting");
+  S.stats().Aborts.fetch_add(1, std::memory_order_relaxed);
+  if (TxEventObserver *Obs = S.observer())
+    Obs->onAbort(E);
+  throw TxAbortException{};
+}
+
+void LibTxn::backoff(uint32_t Attempts) const {
+  switch (S.config().Backoff) {
+  case BackoffKind::None:
+    return;
+  case BackoffKind::Yield:
+    std::this_thread::yield();
+    return;
+  case BackoffKind::Exponential: {
+    unsigned Shift = std::min(Attempts, 10u);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(50ull << Shift));
+    return;
+  }
+  }
+}

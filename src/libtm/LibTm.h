@@ -1,0 +1,249 @@
+//===- libtm/LibTm.h - Object-based STM (LibTM reproduction) -------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reproduction of the LibTM configuration the paper uses for SynQuake
+/// (Lupei et al., PPoPP'10): *object-granularity* conflict detection with
+/// fully-optimistic reads (no read locks) and write locks acquired only at
+/// commit, with conflicts resolved against readers (an optimistic reader
+/// whose object was overwritten aborts — the "abort-readers" policy).
+/// LibTM itself is closed source; this implementation reuses TL2's global
+/// version clock for commit-time validation but keeps LibTM's defining
+/// characteristics: metadata lives *inside each object* (no address
+/// hashing, no false sharing between distinct objects, the property
+/// SynQuake relies on) and objects are multi-word.
+///
+/// The same TxEventObserver / StartGate hooks as the TL2 runtime plug the
+/// model layer in unchanged.
+///
+/// Usage:
+/// \code
+///   LibTm Tm;
+///   TObj<PlayerState> Player;
+///   LibTxn Txn(Tm, /*Thread=*/0);
+///   Txn.run(/*Tx=*/0, [&](LibTxn &Tx) {
+///     PlayerState S = Tx.read(Player);
+///     S.Health -= 10;
+///     Tx.write(Player, S);
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_LIBTM_LIBTM_H
+#define GSTM_LIBTM_LIBTM_H
+
+#include "stm/CommitRing.h"
+#include "stm/LockTable.h"
+#include "stm/Observer.h"
+#include "stm/Tl2.h"
+#include "stm/VersionClock.h"
+#include "support/Ids.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace gstm {
+
+/// Type-erased base of every transactional object: the versioned-lock
+/// metadata word (same encoding as the TL2 stripe words) plus the
+/// word-granular payload accessors used by the runtime.
+class TObjBase {
+public:
+  explicit TObjBase(size_t PayloadWords) : NumWords(PayloadWords) {}
+  TObjBase(const TObjBase &) = delete;
+  TObjBase &operator=(const TObjBase &) = delete;
+  virtual ~TObjBase() = default;
+
+  std::atomic<uint64_t> &meta() { return Meta; }
+  size_t numWords() const { return NumWords; }
+
+  virtual std::atomic<uint64_t> *words() = 0;
+
+private:
+  std::atomic<uint64_t> Meta{0};
+  size_t NumWords;
+};
+
+/// A transactional object holding a trivially copyable \p T. The payload
+/// is stored as relaxed atomic words so speculative snapshot copies are
+/// well-defined; torn snapshots are rejected by the metadata re-check.
+template <typename T> class TObj : public TObjBase {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TObj requires a trivially copyable payload");
+
+public:
+  static constexpr size_t WordCount = (sizeof(T) + 7) / 8;
+
+  TObj() : TObjBase(WordCount) { storeDirect(T{}); }
+  explicit TObj(const T &Value) : TObjBase(WordCount) {
+    storeDirect(Value);
+  }
+
+  /// Non-transactional accessors; quiescent use only.
+  T loadDirect() const {
+    uint64_t Raw[WordCount];
+    for (size_t I = 0; I < WordCount; ++I)
+      Raw[I] = Payload[I].load(std::memory_order_relaxed);
+    T Value;
+    std::memcpy(&Value, Raw, sizeof(T));
+    return Value;
+  }
+  void storeDirect(const T &Value) {
+    uint64_t Raw[WordCount] = {};
+    std::memcpy(Raw, &Value, sizeof(T));
+    for (size_t I = 0; I < WordCount; ++I)
+      Payload[I].store(Raw[I], std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> *words() override { return Payload; }
+
+private:
+  std::atomic<uint64_t> Payload[WordCount];
+};
+
+/// Construction-time configuration of a LibTm runtime.
+struct LibTmConfig {
+  unsigned CommitRingBits = 13;
+  BackoffKind Backoff = BackoffKind::Yield;
+  /// Scheduler perturbation, as in Tl2Config::PreemptShift: yield with
+  /// probability 2^-PreemptShift per object access to restore
+  /// multicore-like transaction overlap on undersized hosts. 0 = off.
+  unsigned PreemptShift = 0;
+};
+
+/// One object-based STM runtime instance.
+class LibTm {
+public:
+  explicit LibTm(const LibTmConfig &Config = LibTmConfig())
+      : Cfg(Config), Ring(Config.CommitRingBits) {}
+
+  LibTm(const LibTm &) = delete;
+  LibTm &operator=(const LibTm &) = delete;
+
+  void setObserver(TxEventObserver *Obs) { Observer = Obs; }
+  void setGate(StartGate *G) { Gate = G; }
+
+  const LibTmConfig &config() const { return Cfg; }
+  VersionClock &clock() { return Clock; }
+  CommitRing &commitRing() { return Ring; }
+  TxEventObserver *observer() const { return Observer; }
+  StartGate *gate() const { return Gate; }
+  Tl2Stats &stats() { return Counters; }
+
+private:
+  LibTmConfig Cfg;
+  VersionClock Clock;
+  CommitRing Ring;
+  TxEventObserver *Observer = nullptr;
+  StartGate *Gate = nullptr;
+  Tl2Stats Counters;
+};
+
+/// Per-thread transaction descriptor for LibTm.
+class LibTxn {
+public:
+  LibTxn(LibTm &Tm, ThreadId Thread)
+      : S(Tm), Thread(Thread),
+        PreemptLcg(0x2545f4914f6cdd1dULL ^
+                   (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
+  LibTxn(const LibTxn &) = delete;
+  LibTxn &operator=(const LibTxn &) = delete;
+
+  /// Executes \p Body transactionally at site \p Tx, retrying until
+  /// commit.
+  template <typename BodyFn> void run(TxId Tx, BodyFn &&Body) {
+    uint32_t Attempts = 0;
+    for (;;) {
+      if (StartGate *G = S.gate())
+        G->onTxStart(Thread, Tx);
+      begin(Tx);
+      try {
+        Body(*this);
+        commitOrThrow(Attempts);
+        return;
+      } catch (const TxAbortException &) {
+      }
+      ++Attempts;
+      backoff(Attempts);
+    }
+  }
+
+  /// Transactional snapshot read of an object.
+  template <typename T> T read(const TObj<T> &Obj) {
+    auto &Mutable = const_cast<TObj<T> &>(Obj);
+    uint64_t Raw[TObj<T>::WordCount];
+    readWords(Mutable, Raw);
+    T Value;
+    std::memcpy(&Value, Raw, sizeof(T));
+    return Value;
+  }
+
+  /// Transactional (buffered) whole-object write. The value type is
+  /// non-deduced so braced/convertible values bind to the object's type.
+  template <typename T>
+  void write(TObj<T> &Obj, const std::type_identity_t<T> &Value) {
+    uint64_t Raw[TObj<T>::WordCount] = {};
+    std::memcpy(Raw, &Value, sizeof(T));
+    writeWords(Obj, Raw);
+  }
+
+  [[noreturn]] void retryAbort();
+
+  ThreadId threadId() const { return Thread; }
+  uint64_t readVersion() const { return Rv; }
+  size_t readSetSize() const { return ReadSet.size(); }
+  size_t writeSetSize() const { return WriteObjs.size(); }
+
+private:
+  void begin(TxId Tx);
+  /// Copies a validated snapshot of \p Obj into \p Out (or the buffered
+  /// write if present).
+  void readWords(TObjBase &Obj, uint64_t *Out);
+  void writeWords(TObjBase &Obj, const uint64_t *In);
+  void commitOrThrow(uint32_t PriorAborts);
+  void backoff(uint32_t Attempts) const;
+
+  [[noreturn]] void abortOnOwner(TxThreadPair Owner);
+  [[noreturn]] void abortOnVersion(uint64_t Version);
+  [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
+  void releaseAcquiredLocks();
+
+  /// Scheduler perturbation (see LibTmConfig::PreemptShift).
+  void maybePreempt() {
+    unsigned Shift = S.config().PreemptShift;
+    if (Shift == 0)
+      return;
+    PreemptLcg = PreemptLcg * 6364136223846793005ULL +
+                 1442695040888963407ULL;
+    if (((PreemptLcg >> 33) & ((uint64_t{1} << Shift) - 1)) == 0)
+      std::this_thread::yield();
+  }
+
+  LibTm &S;
+  ThreadId Thread;
+  TxId CurrentTx = 0;
+  uint64_t Rv = 0;
+  uint64_t PreemptLcg;
+
+  std::vector<TObjBase *> ReadSet;
+  /// Write set: object -> offset into WriteData (object's buffered
+  /// payload words).
+  std::vector<TObjBase *> WriteObjs;
+  std::unordered_map<TObjBase *, size_t> WriteIndex;
+  std::vector<uint64_t> WriteData;
+  /// Pre-lock metadata of objects locked so far during commit.
+  std::vector<std::pair<TObjBase *, uint64_t>> Acquired;
+};
+
+} // namespace gstm
+
+#endif // GSTM_LIBTM_LIBTM_H

@@ -1,0 +1,84 @@
+//===- stamp/Genome.h - STAMP genome port ----------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Gene sequencing as in STAMP: a synthetic genome is sampled into
+/// overlapping segments; phase 1 deduplicates the segments through a
+/// shared transactional hash set, phase 2 builds the overlap graph by
+/// matching each segment's back half against other segments' front halves
+/// and atomically claiming unique predecessor/successor links. Barriers
+/// separate the phases as in the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_GENOME_H
+#define GSTM_STAMP_GENOME_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stamp/TmHashMap.h"
+#include "support/Barrier.h"
+
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one genome run.
+struct GenomeParams {
+  /// Genome length in bases (A/C/G/T, 2 bits each).
+  uint32_t GenomeBases = 4096;
+  /// Segment length in bases; must be even and <= 32.
+  uint32_t SegmentBases = 16;
+  /// Number of (overlapping, duplicated) segments sampled.
+  uint32_t NumSegments = 2048;
+
+  static GenomeParams forSize(SizeClass S);
+};
+
+/// Genome sequencing on TL2.
+class GenomeWorkload : public TlWorkload {
+public:
+  explicit GenomeWorkload(const GenomeParams &Params) : Params(Params) {}
+
+  std::string name() const override { return "genome"; }
+  unsigned numTxSites() const override { return 3; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+private:
+  /// Encodes bases [Pos, Pos+Count) of the genome into 2-bit packing.
+  uint64_t encode(uint32_t Pos, uint32_t Count) const;
+
+  GenomeParams Params;
+  unsigned Threads = 0;
+
+  std::vector<uint8_t> Genome;    // base codes 0..3
+  std::vector<uint64_t> Segments; // sampled segment encodings
+  /// Distinct segments, for verify() (computed at setup).
+  size_t ReferenceUnique = 0;
+
+  std::unique_ptr<TmList::Pool> NodePool;
+  std::unique_ptr<TmHashMap> SegTable;    // segment -> 1 (dedup set)
+  std::unique_ptr<TmHashMap> PrefixTable; // front half -> segment
+  std::unique_ptr<TmHashMap> SuccTable;   // segment -> successor
+  std::unique_ptr<TmHashMap> PredTable;   // successor -> segment
+  std::unique_ptr<Barrier> PhaseBarrier;
+
+  /// Shared transactional counters (as STAMP's genome maintains table
+  /// sizes): distinct segments and claimed overlap links.
+  TVar<uint64_t> UniqueCount{0};
+  TVar<uint64_t> LinkCount{0};
+
+  /// Segments each thread won in the dedup phase.
+  std::vector<std::vector<uint64_t>> OwnedSegments;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_GENOME_H

@@ -1,0 +1,84 @@
+//===- stamp/Intruder.h - STAMP intruder port -------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Network intrusion detection as in STAMP: fragmented packet flows
+/// arrive in a shared queue; workers pop fragments (capture phase),
+/// reassemble flows through a transactional map (decoder phase) and scan
+/// completed flows for an attack signature (detection phase, pure
+/// computation). The single shared queue plus the reassembly map make
+/// intruder the most contended STAMP benchmark — it has by far the most
+/// model states in the paper (Table III).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_INTRUDER_H
+#define GSTM_STAMP_INTRUDER_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stamp/TmHashMap.h"
+#include "stamp/TmQueue.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one intruder run.
+struct IntruderParams {
+  uint32_t NumFlows = 192;
+  uint32_t MaxFragsPerFlow = 8;
+  uint32_t PayloadBases = 24;
+  /// Percent of flows carrying the attack signature.
+  uint32_t AttackPercent = 10;
+
+  static IntruderParams forSize(SizeClass S);
+};
+
+/// Intrusion detection on TL2.
+class IntruderWorkload : public TlWorkload {
+public:
+  explicit IntruderWorkload(const IntruderParams &Params) : Params(Params) {}
+
+  std::string name() const override { return "intruder"; }
+  unsigned numTxSites() const override { return 2; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+  uint64_t attacksDetected() const {
+    return DetectedAttacks.load(std::memory_order_relaxed);
+  }
+
+private:
+  static uint64_t packPacket(uint32_t Flow, uint32_t Frag,
+                             uint32_t NumFrags) {
+    return (static_cast<uint64_t>(Flow) << 32) |
+           (static_cast<uint64_t>(Frag) << 16) | NumFrags;
+  }
+
+  IntruderParams Params;
+  unsigned Threads = 0;
+
+  /// Immutable per run: flow payloads and whether each carries an attack.
+  std::vector<std::string> Payloads;
+  std::vector<bool> PlantedAttack;
+  uint64_t PlantedCount = 0;
+
+  std::unique_ptr<TmQueue> PacketQueue;
+  std::unique_ptr<TmQueue> CompletedQueue;
+  std::unique_ptr<TmList::Pool> NodePool;
+  std::unique_ptr<TmHashMap> Reassembly; // flow -> fragments received
+  std::atomic<uint64_t> DetectedAttacks{0};
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_INTRUDER_H

@@ -1,0 +1,134 @@
+//===- stamp/Kmeans.cpp ----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/Kmeans.h"
+
+#include "support/SplitMix64.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gstm;
+
+KmeansParams KmeansParams::forSize(SizeClass S) {
+  KmeansParams P;
+  switch (S) {
+  case SizeClass::Small:
+    P.NumPoints = 384;
+    P.Dim = 4;
+    P.NumClusters = 6;
+    P.Rounds = 3;
+    break;
+  case SizeClass::Medium:
+    P.NumPoints = 2048;
+    P.Dim = 8;
+    P.NumClusters = 8;
+    P.Rounds = 4;
+    break;
+  case SizeClass::Large:
+    P.NumPoints = 8192;
+    P.Dim = 8;
+    P.NumClusters = 12;
+    P.Rounds = 8;
+    break;
+  }
+  return P;
+}
+
+void KmeansWorkload::setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) {
+  (void)Stm;
+  Threads = NumThreads;
+  SplitMix64 Rng(Seed * 0x2545f4914f6cdd1dULL + 1);
+
+  Points.resize(static_cast<size_t>(Params.NumPoints) * Params.Dim);
+  for (double &V : Points)
+    V = Rng.nextDouble();
+
+  // Initial centers: the first K points, as in classic Forgy seeding.
+  Centers.assign(Points.begin(),
+                 Points.begin() +
+                     static_cast<size_t>(Params.NumClusters) * Params.Dim);
+
+  size_t SumCount = static_cast<size_t>(Params.NumClusters) * Params.Dim;
+  Sums = std::make_unique<TVar<double>[]>(SumCount);
+  Counts = std::make_unique<TVar<uint64_t>[]>(Params.NumClusters);
+  for (size_t I = 0; I < SumCount; ++I)
+    Sums[I].storeDirect(0.0);
+  for (uint32_t K = 0; K < Params.NumClusters; ++K)
+    Counts[K].storeDirect(0);
+
+  RoundBarrier = std::make_unique<Barrier>(NumThreads);
+  LastRoundMembers = 0;
+}
+
+uint32_t KmeansWorkload::nearestCenter(uint32_t Point) const {
+  const double *PV = &Points[static_cast<size_t>(Point) * Params.Dim];
+  uint32_t Best = 0;
+  double BestDist = 0.0;
+  for (uint32_t K = 0; K < Params.NumClusters; ++K) {
+    const double *CV = &Centers[static_cast<size_t>(K) * Params.Dim];
+    double Dist = 0.0;
+    for (uint32_t D = 0; D < Params.Dim; ++D) {
+      double Delta = PV[D] - CV[D];
+      Dist += Delta * Delta;
+    }
+    if (K == 0 || Dist < BestDist) {
+      Best = K;
+      BestDist = Dist;
+    }
+  }
+  return Best;
+}
+
+void KmeansWorkload::threadBody(Tl2Stm &Stm, ThreadId Thread) {
+  Tl2Txn Txn(Stm, Thread);
+  uint32_t Chunk = (Params.NumPoints + Threads - 1) / Threads;
+  uint32_t Begin = Thread * Chunk;
+  uint32_t End = std::min(Params.NumPoints, Begin + Chunk);
+
+  for (uint32_t Round = 0; Round < Params.Rounds; ++Round) {
+    for (uint32_t Pt = Begin; Pt < End; ++Pt) {
+      uint32_t K = nearestCenter(Pt);
+      const double *PV = &Points[static_cast<size_t>(Pt) * Params.Dim];
+      // STAMP kmeans: the accumulator update is the transaction.
+      Txn.run(/*Tx=*/0, [&](Tl2Txn &Tx) {
+        size_t Base = static_cast<size_t>(K) * Params.Dim;
+        for (uint32_t D = 0; D < Params.Dim; ++D)
+          Tx.store(Sums[Base + D], Tx.load(Sums[Base + D]) + PV[D]);
+        Tx.store(Counts[K], Tx.load(Counts[K]) + 1);
+      });
+    }
+
+    RoundBarrier->arriveAndWait();
+    if (Thread == 0) {
+      // Quiescent region between barriers: recompute centers directly.
+      uint64_t Members = 0;
+      for (uint32_t K = 0; K < Params.NumClusters; ++K) {
+        uint64_t Count = Counts[K].loadDirect();
+        Members += Count;
+        size_t Base = static_cast<size_t>(K) * Params.Dim;
+        for (uint32_t D = 0; D < Params.Dim; ++D) {
+          double Sum = Sums[Base + D].loadDirect();
+          if (Count != 0)
+            Centers[Base + D] = Sum / static_cast<double>(Count);
+          Sums[Base + D].storeDirect(0.0);
+        }
+        Counts[K].storeDirect(0);
+      }
+      LastRoundMembers = Members;
+    }
+    RoundBarrier->arriveAndWait();
+  }
+}
+
+bool KmeansWorkload::verify(Tl2Stm &Stm) {
+  (void)Stm;
+  // Every point must have been accumulated exactly once in the final
+  // round; a lost transactional update would break the count.
+  return LastRoundMembers == Params.NumPoints;
+}
+

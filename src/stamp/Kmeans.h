@@ -1,0 +1,74 @@
+//===- stamp/Kmeans.h - STAMP kmeans port ---------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-means clustering as in STAMP: threads partition the points; for each
+/// point they pick the nearest center (reading the previous round's
+/// centers without TM — they are frozen between barriers) and then update
+/// the shared per-cluster accumulators inside a transaction. With few
+/// clusters and many threads the accumulator transactions conflict
+/// heavily, which is why kmeans shows the large abort tails of paper
+/// Figures 5c/7c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_KMEANS_H
+#define GSTM_STAMP_KMEANS_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stm/TVar.h"
+#include "support/Barrier.h"
+
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one kmeans run.
+struct KmeansParams {
+  uint32_t NumPoints = 512;
+  uint32_t Dim = 4;
+  uint32_t NumClusters = 8;
+  uint32_t Rounds = 3;
+
+  static KmeansParams forSize(SizeClass S);
+};
+
+/// STAMP kmeans on TL2.
+class KmeansWorkload : public TlWorkload {
+public:
+  explicit KmeansWorkload(const KmeansParams &Params) : Params(Params) {}
+
+  std::string name() const override { return "kmeans"; }
+  unsigned numTxSites() const override { return 1; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+  /// Final centers (after the last round); for tests and examples.
+  std::vector<double> centers() const { return Centers; }
+
+private:
+  uint32_t nearestCenter(uint32_t Point) const;
+
+  KmeansParams Params;
+  unsigned Threads = 0;
+
+  std::vector<double> Points;  // NumPoints x Dim, immutable per run
+  std::vector<double> Centers; // NumClusters x Dim, frozen between rounds
+  /// Shared accumulators, updated transactionally: per-cluster dimension
+  /// sums (NumClusters x Dim) and membership counts (NumClusters).
+  std::unique_ptr<TVar<double>[]> Sums;
+  std::unique_ptr<TVar<uint64_t>[]> Counts;
+  std::unique_ptr<Barrier> RoundBarrier;
+  uint64_t LastRoundMembers = 0; // filled by thread 0 in the last round
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_KMEANS_H

@@ -1,0 +1,195 @@
+//===- stamp/Labyrinth.cpp -------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/Labyrinth.h"
+
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace gstm;
+
+LabyrinthParams LabyrinthParams::forSize(SizeClass S) {
+  LabyrinthParams P;
+  switch (S) {
+  case SizeClass::Small:
+    P.Width = 32;
+    P.Height = 32;
+    P.NumPaths = 32;
+    break;
+  case SizeClass::Medium:
+    P.Width = 64;
+    P.Height = 64;
+    P.NumPaths = 96;
+    break;
+  case SizeClass::Large:
+    P.Width = 128;
+    P.Height = 128;
+    P.NumPaths = 384;
+    break;
+  }
+  return P;
+}
+
+void LabyrinthWorkload::setup(Tl2Stm &Stm, unsigned NumThreads,
+                              uint64_t Seed) {
+  (void)Stm;
+  Threads = NumThreads;
+  SplitMix64 Rng(Seed * 0x100000001b3ULL + 17);
+
+  uint32_t Cells = Params.Width * Params.Height;
+  Grid = std::make_unique<TVar<uint32_t>[]>(Cells);
+  for (uint32_t C = 0; C < Cells; ++C)
+    Grid[C].storeDirect(0);
+
+  // Distinct endpoints; the same cell may still serve several requests
+  // (second one becomes unroutable), as in the original's input files.
+  Requests = std::make_unique<TmQueue>(Params.NumPaths + 1);
+  Placed.assign(Params.NumPaths, {});
+  for (uint32_t R = 0; R < Params.NumPaths; ++R) {
+    uint64_t Src = Rng.nextBounded(Cells);
+    uint64_t Dst = Rng.nextBounded(Cells);
+    while (Dst == Src)
+      Dst = Rng.nextBounded(Cells);
+    Requests->pushDirect((static_cast<uint64_t>(R) << 40) | (Src << 20) |
+                         Dst);
+  }
+}
+
+std::vector<uint32_t> LabyrinthWorkload::planPath(uint32_t Src,
+                                                  uint32_t Dst) const {
+  uint32_t Cells = Params.Width * Params.Height;
+  // Snapshot the grid without TM, exactly as STAMP's router copies it.
+  std::vector<uint32_t> Owner(Cells);
+  for (uint32_t C = 0; C < Cells; ++C)
+    Owner[C] = Grid[C].loadDirect();
+  if (Owner[Src] != 0 || Owner[Dst] != 0)
+    return {};
+
+  std::vector<int32_t> Prev(Cells, -1);
+  std::deque<uint32_t> Frontier{Src};
+  Prev[Src] = static_cast<int32_t>(Src);
+  while (!Frontier.empty()) {
+    uint32_t Cur = Frontier.front();
+    Frontier.pop_front();
+    if (Cur == Dst)
+      break;
+    uint32_t X = Cur % Params.Width;
+    uint32_t Y = Cur / Params.Width;
+    const int32_t DX[4] = {1, -1, 0, 0};
+    const int32_t DY[4] = {0, 0, 1, -1};
+    for (int Dir = 0; Dir < 4; ++Dir) {
+      int32_t NX = static_cast<int32_t>(X) + DX[Dir];
+      int32_t NY = static_cast<int32_t>(Y) + DY[Dir];
+      if (NX < 0 || NY < 0 || NX >= static_cast<int32_t>(Params.Width) ||
+          NY >= static_cast<int32_t>(Params.Height))
+        continue;
+      uint32_t Next = cellIndex(static_cast<uint32_t>(NX),
+                                static_cast<uint32_t>(NY));
+      if (Prev[Next] != -1 || Owner[Next] != 0)
+        continue;
+      Prev[Next] = static_cast<int32_t>(Cur);
+      Frontier.push_back(Next);
+    }
+  }
+  if (Prev[Dst] == -1)
+    return {};
+
+  std::vector<uint32_t> Path;
+  for (uint32_t Cur = Dst;; Cur = static_cast<uint32_t>(Prev[Cur])) {
+    Path.push_back(Cur);
+    if (Cur == Src)
+      break;
+  }
+  std::reverse(Path.begin(), Path.end());
+  return Path;
+}
+
+void LabyrinthWorkload::threadBody(Tl2Stm &Stm, ThreadId Thread) {
+  Tl2Txn Txn(Stm, Thread);
+
+  for (;;) {
+    std::optional<uint64_t> Request;
+    Txn.run(/*Tx=*/0, [&](Tl2Txn &Tx) { Request = Requests->pop(Tx); });
+    if (!Request)
+      break;
+
+    uint32_t Id = static_cast<uint32_t>(*Request >> 40);
+    uint32_t Src = static_cast<uint32_t>((*Request >> 20) & 0xfffff);
+    uint32_t Dst = static_cast<uint32_t>(*Request & 0xfffff);
+    uint32_t PathId = Id + 1;
+
+    for (uint32_t Attempt = 0; Attempt < Params.MaxPlanAttempts;
+         ++Attempt) {
+      std::vector<uint32_t> Path = planPath(Src, Dst);
+      if (Path.empty())
+        break; // unroutable on current grid
+
+      // Claim phase: one transaction validates the whole path is still
+      // free and writes the ownership; any stale cell forces a re-plan.
+      bool Claimed = false;
+      Txn.run(/*Tx=*/1, [&](Tl2Txn &Tx) {
+        Claimed = false;
+        for (uint32_t Cell : Path)
+          if (Tx.load(Grid[Cell]) != 0)
+            return; // read-only commit; snapshot was stale
+        for (uint32_t Cell : Path)
+          Tx.store(Grid[Cell], PathId);
+        Claimed = true;
+      });
+      if (Claimed) {
+        Placed[Id] = std::move(Path);
+        break;
+      }
+    }
+  }
+}
+
+size_t LabyrinthWorkload::routedCount() const {
+  size_t Count = 0;
+  for (const auto &Path : Placed)
+    if (!Path.empty())
+      ++Count;
+  return Count;
+}
+
+bool LabyrinthWorkload::verify(Tl2Stm &Stm) {
+  (void)Stm;
+  uint32_t Cells = Params.Width * Params.Height;
+  std::vector<uint32_t> Expected(Cells, 0);
+
+  for (uint32_t Id = 0; Id < Params.NumPaths; ++Id) {
+    const std::vector<uint32_t> &Path = Placed[Id];
+    if (Path.empty())
+      continue;
+    // Endpoint and 4-adjacency structure.
+    for (size_t I = 0; I < Path.size(); ++I) {
+      uint32_t Cell = Path[I];
+      if (Cell >= Cells || Expected[Cell] != 0)
+        return false; // overlap between two routed paths
+      Expected[Cell] = Id + 1;
+      if (I == 0)
+        continue;
+      uint32_t PrevCell = Path[I - 1];
+      uint32_t AX = PrevCell % Params.Width, AY = PrevCell / Params.Width;
+      uint32_t BX = Cell % Params.Width, BY = Cell / Params.Width;
+      uint32_t Manhattan = (AX > BX ? AX - BX : BX - AX) +
+                           (AY > BY ? AY - BY : BY - AY);
+      if (Manhattan != 1)
+        return false;
+    }
+  }
+
+  // The grid must agree exactly with the recorded paths.
+  for (uint32_t C = 0; C < Cells; ++C)
+    if (Grid[C].loadDirect() != Expected[C])
+      return false;
+  return true;
+}
+

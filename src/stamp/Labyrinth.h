@@ -1,0 +1,81 @@
+//===- stamp/Labyrinth.h - STAMP labyrinth port ----------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maze routing as in STAMP's labyrinth (Lee's algorithm): workers pull
+/// (source, destination) requests from a shared queue, plan a shortest
+/// path over a *non-transactional snapshot* of the grid (the original
+/// copies the grid privately for exactly this reason), then atomically
+/// validate and claim the path's cells in one long transaction. A racing
+/// commit on any claimed cell aborts the claim and forces a re-plan on
+/// fresh state — long transactions with medium conflict rates, matching
+/// the paper's labyrinth behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_LABYRINTH_H
+#define GSTM_STAMP_LABYRINTH_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stamp/TmQueue.h"
+#include "stm/TVar.h"
+
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one labyrinth run.
+struct LabyrinthParams {
+  uint32_t Width = 48;
+  uint32_t Height = 48;
+  uint32_t NumPaths = 48;
+  /// Re-plan attempts before a request is abandoned as unroutable.
+  uint32_t MaxPlanAttempts = 16;
+
+  static LabyrinthParams forSize(SizeClass S);
+};
+
+/// Maze routing on TL2.
+class LabyrinthWorkload : public TlWorkload {
+public:
+  explicit LabyrinthWorkload(const LabyrinthParams &Params)
+      : Params(Params) {}
+
+  std::string name() const override { return "labyrinth"; }
+  unsigned numTxSites() const override { return 2; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+  /// Paths successfully routed (for tests).
+  size_t routedCount() const;
+
+private:
+  uint32_t cellIndex(uint32_t X, uint32_t Y) const {
+    return Y * Params.Width + X;
+  }
+
+  /// Breadth-first shortest path over a snapshot of the grid; returns the
+  /// cell sequence src..dst or empty when unreachable.
+  std::vector<uint32_t> planPath(uint32_t Src, uint32_t Dst) const;
+
+  LabyrinthParams Params;
+  unsigned Threads = 0;
+
+  /// Cell owner: 0 = free, else path id (request index + 1).
+  std::unique_ptr<TVar<uint32_t>[]> Grid;
+  std::unique_ptr<TmQueue> Requests; // packed (src << 32) | dst
+  /// Routed path cells, indexed by request; written only by the winning
+  /// router after its claim committed.
+  std::vector<std::vector<uint32_t>> Placed;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_LABYRINTH_H

@@ -1,0 +1,47 @@
+//===- stamp/Registry.cpp --------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/Registry.h"
+
+#include "stamp/Genome.h"
+#include "stamp/Intruder.h"
+#include "stamp/Kmeans.h"
+#include "stamp/Labyrinth.h"
+#include "stamp/Ssca2.h"
+#include "stamp/Vacation.h"
+#include "stamp/Yada.h"
+
+using namespace gstm;
+
+const std::vector<std::string> &gstm::stampWorkloadNames() {
+  static const std::vector<std::string> Names = {
+      "genome", "intruder", "kmeans", "labyrinth",
+      "ssca2",  "vacation", "yada"};
+  return Names;
+}
+
+std::unique_ptr<TlWorkload>
+gstm::createStampWorkload(const std::string &Name, SizeClass Size) {
+  if (Name == "genome")
+    return std::make_unique<GenomeWorkload>(GenomeParams::forSize(Size));
+  if (Name == "intruder")
+    return std::make_unique<IntruderWorkload>(
+        IntruderParams::forSize(Size));
+  if (Name == "kmeans")
+    return std::make_unique<KmeansWorkload>(KmeansParams::forSize(Size));
+  if (Name == "labyrinth")
+    return std::make_unique<LabyrinthWorkload>(
+        LabyrinthParams::forSize(Size));
+  if (Name == "ssca2")
+    return std::make_unique<Ssca2Workload>(Ssca2Params::forSize(Size));
+  if (Name == "vacation")
+    return std::make_unique<VacationWorkload>(
+        VacationParams::forSize(Size));
+  if (Name == "yada")
+    return std::make_unique<YadaWorkload>(YadaParams::forSize(Size));
+  return nullptr;
+}

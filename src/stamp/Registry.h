@@ -1,0 +1,38 @@
+//===- stamp/Registry.h - Workload factory ---------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Name-based factory over the seven STAMP ports so the bench harnesses
+/// and examples can iterate "every benchmark in Table I" without
+/// hardcoding types. Bayes is absent by design: it seg-faults in the
+/// paper's artifact and is excluded from its evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_REGISTRY_H
+#define GSTM_STAMP_REGISTRY_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gstm {
+
+/// Names of all available STAMP workloads, in the paper's table order.
+const std::vector<std::string> &stampWorkloadNames();
+
+/// Creates workload \p Name at input size \p Size; nullptr for unknown
+/// names.
+std::unique_ptr<TlWorkload> createStampWorkload(const std::string &Name,
+                                                SizeClass Size);
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_REGISTRY_H

@@ -1,0 +1,48 @@
+//===- stamp/SizeClass.h - Workload input size classes -------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// STAMP inputs come in small/medium/large classes; the paper trains its
+/// models on medium inputs and evaluates on other sizes. Each workload
+/// maps these classes to its own parameters (scaled to finish in
+/// milliseconds-to-seconds on one core; every bench exposes --size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_SIZECLASS_H
+#define GSTM_STAMP_SIZECLASS_H
+
+#include <string>
+
+namespace gstm {
+
+enum class SizeClass { Small, Medium, Large };
+
+inline const char *sizeClassName(SizeClass S) {
+  switch (S) {
+  case SizeClass::Small:
+    return "small";
+  case SizeClass::Medium:
+    return "medium";
+  case SizeClass::Large:
+    return "large";
+  }
+  return "?";
+}
+
+/// Parses "small" / "medium" / "large" (defaults to Small on junk).
+inline SizeClass parseSizeClass(const std::string &Name) {
+  if (Name == "medium")
+    return SizeClass::Medium;
+  if (Name == "large")
+    return SizeClass::Large;
+  return SizeClass::Small;
+}
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_SIZECLASS_H

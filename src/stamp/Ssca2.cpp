@@ -1,0 +1,93 @@
+//===- stamp/Ssca2.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/Ssca2.h"
+
+#include "support/SplitMix64.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace gstm;
+
+Ssca2Params Ssca2Params::forSize(SizeClass S) {
+  Ssca2Params P;
+  switch (S) {
+  case SizeClass::Small:
+    P.NumVertices = 512;
+    P.NumEdges = 2048;
+    break;
+  case SizeClass::Medium:
+    P.NumVertices = 4096;
+    P.NumEdges = 16384;
+    break;
+  case SizeClass::Large:
+    P.NumVertices = 16384;
+    P.NumEdges = 131072;
+    break;
+  }
+  return P;
+}
+
+void Ssca2Workload::setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) {
+  (void)Stm;
+  Threads = NumThreads;
+  SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ULL + 7);
+
+  Edges.resize(Params.NumEdges);
+  for (auto &[Src, Dst] : Edges) {
+    Src = static_cast<uint32_t>(Rng.nextBounded(Params.NumVertices));
+    Dst = static_cast<uint32_t>(Rng.nextBounded(Params.NumVertices));
+  }
+
+  Degrees = std::make_unique<TVar<uint64_t>[]>(Params.NumVertices);
+  for (uint32_t V = 0; V < Params.NumVertices; ++V)
+    Degrees[V].storeDirect(0);
+  Adjacency = std::make_unique<TVar<uint32_t>[]>(
+      static_cast<size_t>(Params.NumVertices) * Params.MaxDegree);
+  DroppedEdges.store(0, std::memory_order_relaxed);
+}
+
+void Ssca2Workload::threadBody(Tl2Stm &Stm, ThreadId Thread) {
+  Tl2Txn Txn(Stm, Thread);
+  uint32_t Chunk = (Params.NumEdges + Threads - 1) / Threads;
+  uint32_t Begin = Thread * Chunk;
+  uint32_t End = std::min(Params.NumEdges, Begin + Chunk);
+
+  uint64_t LocalDrops = 0;
+  for (uint32_t E = Begin; E < End; ++E) {
+    auto [Src, Dst] = Edges[E];
+    bool Dropped = false;
+    Txn.run(/*Tx=*/0, [&](Tl2Txn &Tx) {
+      Dropped = false; // body re-executes on retry
+      uint64_t Degree = Tx.load(Degrees[Src]);
+      if (Degree >= Params.MaxDegree) {
+        Dropped = true;
+        return; // committed read-only no-op
+      }
+      Tx.store(Adjacency[static_cast<size_t>(Src) * Params.MaxDegree +
+                         Degree],
+               Dst);
+      Tx.store(Degrees[Src], Degree + 1);
+    });
+    if (Dropped)
+      ++LocalDrops;
+  }
+  DroppedEdges.fetch_add(LocalDrops, std::memory_order_relaxed);
+}
+
+bool Ssca2Workload::verify(Tl2Stm &Stm) {
+  (void)Stm;
+  // Every edge must be represented exactly once (none dropped at the
+  // default MaxDegree sizing): total degree equals the edge count.
+  uint64_t TotalDegree = 0;
+  for (uint32_t V = 0; V < Params.NumVertices; ++V)
+    TotalDegree += Degrees[V].loadDirect();
+  return TotalDegree + DroppedEdges.load(std::memory_order_relaxed) ==
+         Params.NumEdges;
+}
+

@@ -1,0 +1,71 @@
+//===- stamp/Ssca2.h - STAMP ssca2 port (graph construction) -------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SSCA2 kernel 1 as in STAMP: threads insert the edges of a random
+/// multigraph into per-vertex adjacency arrays, each append guarded by a
+/// tiny transaction on the vertex's degree counter. With many vertices and
+/// short transactions, conflicts are nearly nonexistent — the paper's
+/// model analyzer correctly flags ssca2 as non-optimizable (guidance
+/// metric 72%/57%, Table I) and guiding it anyway only adds overhead
+/// (Figure 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_SSCA2_H
+#define GSTM_STAMP_SSCA2_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stm/TVar.h"
+
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one ssca2 run.
+struct Ssca2Params {
+  uint32_t NumVertices = 1024;
+  uint32_t NumEdges = 4096;
+  /// Per-vertex adjacency capacity; inserts beyond it are dropped
+  /// (extremely unlikely with the default sizing).
+  uint32_t MaxDegree = 64;
+
+  static Ssca2Params forSize(SizeClass S);
+};
+
+/// SSCA2 graph construction on TL2.
+class Ssca2Workload : public TlWorkload {
+public:
+  explicit Ssca2Workload(const Ssca2Params &Params) : Params(Params) {}
+
+  std::string name() const override { return "ssca2"; }
+  unsigned numTxSites() const override { return 1; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+  /// Degree of \p Vertex after the run (direct read; for tests).
+  uint64_t degreeDirect(uint32_t Vertex) const {
+    return Degrees[Vertex].loadDirect();
+  }
+
+private:
+  Ssca2Params Params;
+  unsigned Threads = 0;
+
+  /// Edge list (immutable per run): pairs (src, dst).
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+  std::unique_ptr<TVar<uint64_t>[]> Degrees;     // NumVertices
+  std::unique_ptr<TVar<uint32_t>[]> Adjacency;   // NumVertices x MaxDegree
+  std::atomic<uint64_t> DroppedEdges{0};
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_SSCA2_H

@@ -1,0 +1,26 @@
+//===- stamp/TmHashMap.cpp -------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/TmHashMap.h"
+
+#include <cassert>
+
+using namespace gstm;
+
+static uint32_t roundUpPow2(uint32_t V) {
+  uint32_t P = 1;
+  while (P < V)
+    P <<= 1;
+  return P;
+}
+
+TmHashMap::TmHashMap(uint32_t NumBuckets) {
+  assert(NumBuckets > 0 && "hash map needs at least one bucket");
+  uint32_t N = roundUpPow2(NumBuckets);
+  Mask = N - 1;
+  Buckets = std::make_unique<TmList[]>(N);
+}

@@ -1,0 +1,85 @@
+//===- stamp/TmPool.h - Node pool for transactional structures -----------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-capacity node arena used by the transactional containers.
+///
+/// Memory management under speculation follows the STAMP discipline:
+/// nodes are allocated with a thread-safe bump pointer (an aborted
+/// transaction simply wastes its nodes) and nothing is freed until the
+/// concurrent phase ends — freeing a node another speculative reader may
+/// still dereference would be a use-after-free, so unlinked nodes stay
+/// allocated until teardown. Index 0 is reserved as the null sentinel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_TMPOOL_H
+#define GSTM_STAMP_TMPOOL_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+namespace gstm {
+
+/// Index-addressed arena of default-constructed nodes.
+///
+/// Containers link nodes by 32-bit pool index rather than raw pointer so
+/// links fit in one TVar word alongside tag bits if needed.
+template <typename NodeT> class TmPool {
+public:
+  static constexpr uint32_t Null = 0;
+
+  /// Creates a pool able to hand out \p Capacity nodes (excluding the
+  /// null sentinel at index 0).
+  explicit TmPool(uint32_t Capacity)
+      : CapacityPlusNull(Capacity + 1),
+        Nodes(std::make_unique<NodeT[]>(Capacity + 1)), Next(1) {}
+
+  /// Allocates one node; returns its index. Exhaustion is a workload
+  /// sizing bug (pools must budget for nodes wasted by aborted
+  /// transactions), so it terminates loudly rather than corrupting the
+  /// heap: speculative readers may already hold indices near the end.
+  uint32_t allocate() {
+    uint32_t Index = Next.fetch_add(1, std::memory_order_relaxed);
+    if (Index >= CapacityPlusNull) {
+      std::fprintf(stderr,
+                   "fatal: TmPool exhausted (capacity %u); size the pool "
+                   "from the workload parameters with abort headroom\n",
+                   CapacityPlusNull - 1);
+      std::abort();
+    }
+    return Index;
+  }
+
+  NodeT &operator[](uint32_t Index) {
+    assert(Index != Null && Index < CapacityPlusNull && "bad pool index");
+    return Nodes[Index];
+  }
+  const NodeT &operator[](uint32_t Index) const {
+    assert(Index != Null && Index < CapacityPlusNull && "bad pool index");
+    return Nodes[Index];
+  }
+
+  /// Nodes handed out so far.
+  uint32_t used() const {
+    return Next.load(std::memory_order_relaxed) - 1;
+  }
+  uint32_t capacity() const { return CapacityPlusNull - 1; }
+
+private:
+  uint32_t CapacityPlusNull;
+  std::unique_ptr<NodeT[]> Nodes;
+  std::atomic<uint32_t> Next;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_TMPOOL_H

@@ -1,0 +1,98 @@
+//===- stamp/Vacation.h - STAMP vacation port ------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vacation as in STAMP: an in-memory travel-reservation database. Three
+/// red-black-tree tables (cars, flights, rooms) map asset id to (price,
+/// free seats); a fourth tree tracks customers, each owning a linked list
+/// of reservations. Client threads issue a pseudo-random mix of
+/// make-reservation, delete-customer and update-tables operations, each a
+/// transaction spanning tree lookups and updates — the paper notes this
+/// client randomness is what makes vacation's 16-thread model weak
+/// (Sec. VII).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_VACATION_H
+#define GSTM_STAMP_VACATION_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stamp/TmList.h"
+#include "stamp/TmRbTree.h"
+#include "support/SplitMix64.h"
+
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// Input parameters of one vacation run.
+struct VacationParams {
+  /// Assets per table (STAMP's "relations").
+  uint32_t NumRelations = 64;
+  uint32_t NumCustomers = 64;
+  uint32_t OpsPerThread = 128;
+  /// Asset ids probed per reservation attempt.
+  uint32_t QueriesPerReserve = 4;
+  /// Percent of operations that are reservations; the rest split evenly
+  /// between delete-customer and update-tables (STAMP -u analogue).
+  uint32_t ReservePercent = 80;
+
+  static VacationParams forSize(SizeClass S);
+};
+
+/// Vacation travel-reservation system on TL2.
+class VacationWorkload : public TlWorkload {
+public:
+  explicit VacationWorkload(const VacationParams &Params) : Params(Params) {}
+
+  std::string name() const override { return "vacation"; }
+  unsigned numTxSites() const override { return 3; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+private:
+  static constexpr uint32_t NumTables = 3; // cars, flights, rooms
+
+  /// Table values pack (price << 32) | free.
+  static uint64_t packAsset(uint32_t Price, uint32_t Free) {
+    return (static_cast<uint64_t>(Price) << 32) | Free;
+  }
+  static uint32_t assetPrice(uint64_t V) {
+    return static_cast<uint32_t>(V >> 32);
+  }
+  static uint32_t assetFree(uint64_t V) {
+    return static_cast<uint32_t>(V);
+  }
+  /// Reservation keys pack (table << 32) | asset.
+  static uint64_t packReservation(uint32_t Table, uint32_t Asset) {
+    return (static_cast<uint64_t>(Table) << 32) | Asset;
+  }
+
+  void doReserve(Tl2Txn &Txn, SplitMix64 &Rng);
+  void doDeleteCustomer(Tl2Txn &Txn, SplitMix64 &Rng);
+  void doUpdateTables(Tl2Txn &Txn, SplitMix64 &Rng);
+
+  VacationParams Params;
+  unsigned Threads = 0;
+  uint64_t RunSeed = 0;
+
+  std::unique_ptr<TmRbTree::Pool> TreePool;
+  std::unique_ptr<TmList::Pool> ListPool;
+  std::vector<std::unique_ptr<TmRbTree>> Tables; // NumTables asset tables
+  std::unique_ptr<TmRbTree> Customers;           // custId -> 1 (presence)
+  /// Reservation list per customer slot.
+  std::unique_ptr<TmList[]> Reservations;
+  /// Initial free seats per (table, asset); baseline for verify().
+  std::vector<uint32_t> InitialFree;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_VACATION_H

@@ -1,0 +1,346 @@
+//===- stamp/Yada.cpp ------------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stamp/Yada.h"
+
+#include "support/SplitMix64.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace gstm;
+
+YadaParams YadaParams::forSize(SizeClass S) {
+  YadaParams P;
+  switch (S) {
+  case SizeClass::Small:
+    P.Grid = 6;
+    break;
+  case SizeClass::Medium:
+    P.Grid = 14;
+    break;
+  case SizeClass::Large:
+    P.Grid = 28;
+    break;
+  }
+  P.MinAngleDeg = 40.0; // jittered right-isoceles cells start near 45deg
+  P.MinEdgeLen = 0.35 / P.Grid;
+  return P;
+}
+
+uint32_t YadaWorkload::newPoint(double X, double Y) {
+  uint32_t Index = NumPoints.fetch_add(1, std::memory_order_relaxed);
+  assert(Index < PointCapacity && "point pool exhausted");
+  Xs[Index] = X;
+  Ys[Index] = Y;
+  return Index;
+}
+
+bool YadaWorkload::needsRefinement(uint32_t A, uint32_t B, uint32_t C,
+                                   uint32_t &LongestEdge) const {
+  const uint32_t V[3] = {A, B, C};
+  double Len2[3];
+  for (int E = 0; E < 3; ++E) {
+    double DX = Xs[V[(E + 1) % 3]] - Xs[V[E]];
+    double DY = Ys[V[(E + 1) % 3]] - Ys[V[E]];
+    Len2[E] = DX * DX + DY * DY;
+  }
+  LongestEdge = 0;
+  for (int E = 1; E < 3; ++E)
+    if (Len2[E] > Len2[LongestEdge])
+      LongestEdge = static_cast<uint32_t>(E);
+  if (Len2[LongestEdge] <= Params.MinEdgeLen * Params.MinEdgeLen)
+    return false; // too small to split: accept as-is
+
+  // Smallest angle is opposite the shortest edge; check all three via the
+  // law of cosines: cos(angle at vertex i) over adjacent edges.
+  double CosLimit = std::cos(Params.MinAngleDeg * 3.14159265358979 / 180.0);
+  for (int I = 0; I < 3; ++I) {
+    // Angle at vertex I is between edges I (I -> I+1) and I+2 reversed
+    // (I -> I+2).
+    double UX = Xs[V[(I + 1) % 3]] - Xs[V[I]];
+    double UY = Ys[V[(I + 1) % 3]] - Ys[V[I]];
+    double WX = Xs[V[(I + 2) % 3]] - Xs[V[I]];
+    double WY = Ys[V[(I + 2) % 3]] - Ys[V[I]];
+    double Dot = UX * WX + UY * WY;
+    double Norm = std::sqrt((UX * UX + UY * UY) * (WX * WX + WY * WY));
+    if (Norm <= 0.0)
+      return false; // degenerate; leave alone (verify would flag it)
+    if (Dot / Norm > CosLimit)
+      return true; // angle below the bound
+  }
+  return false;
+}
+
+void YadaWorkload::setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) {
+  (void)Stm;
+  Threads = NumThreads;
+  SplitMix64 Rng(Seed * 0x9e3779b97f4a7c15ULL + 23);
+
+  uint32_t G = Params.Grid;
+  uint32_t InitPoints = (G + 1) * (G + 1);
+  uint32_t InitTris = 2 * G * G;
+  // Each bisection adds <= 1 point and a net 2 triangles; budget ~5x the
+  // initial mesh, after which refinement stops (pool guard below).
+  PointCapacity = InitPoints + 6 * InitTris;
+  Xs = std::make_unique<double[]>(PointCapacity);
+  Ys = std::make_unique<double[]>(PointCapacity);
+  NumPoints.store(0, std::memory_order_relaxed);
+
+  // Jittered lattice over the unit square; boundary points stay put so
+  // the mesh exactly covers the square and area is conserved.
+  double Cell = 1.0 / G;
+  for (uint32_t J = 0; J <= G; ++J)
+    for (uint32_t I = 0; I <= G; ++I) {
+      double X = I * Cell;
+      double Y = J * Cell;
+      // Amplitude 0.28 keeps every initial triangle strictly CCW
+      // (flipping needs ~0.35 per-axis displacement) while producing
+      // plenty of angles below the refinement bound.
+      if (I != 0 && I != G)
+        X += (Rng.nextDouble() - 0.5) * 0.28 * Cell;
+      if (J != 0 && J != G)
+        Y += (Rng.nextDouble() - 0.5) * 0.28 * Cell;
+      newPoint(X, Y);
+    }
+
+  Triangles = std::make_unique<Pool>(InitTris + 12 * InitTris + 16);
+  WorkQueue = std::make_unique<TmQueue>(
+      static_cast<uint64_t>(Triangles->capacity()) * 2 + 16);
+
+  // Two CCW triangles per lattice cell, with full adjacency. Index
+  // helpers: lattice point (I, J) and the cell's two triangles.
+  auto PointAt = [&](uint32_t I, uint32_t J) { return J * (G + 1) + I; };
+  std::vector<std::vector<uint32_t>> TriIds(
+      G, std::vector<uint32_t>(2 * G, 0));
+  for (uint32_t J = 0; J < G; ++J)
+    for (uint32_t I = 0; I < G; ++I)
+      for (uint32_t K = 0; K < 2; ++K)
+        TriIds[J][2 * I + K] = Triangles->allocate();
+
+  for (uint32_t J = 0; J < G; ++J)
+    for (uint32_t I = 0; I < G; ++I) {
+      uint32_t P00 = PointAt(I, J), P10 = PointAt(I + 1, J);
+      uint32_t P01 = PointAt(I, J + 1), P11 = PointAt(I + 1, J + 1);
+      uint32_t Lower = TriIds[J][2 * I];     // (P00, P10, P11)
+      uint32_t Upper = TriIds[J][2 * I + 1]; // (P00, P11, P01)
+
+      TmTriangle &L = (*Triangles)[Lower];
+      L.Vertex[0].storeDirect(P00);
+      L.Vertex[1].storeDirect(P10);
+      L.Vertex[2].storeDirect(P11);
+      // Edges: (P00,P10) bottom row; (P10,P11) right cell; (P11,P00)
+      // diagonal shared with Upper.
+      L.Neighbor[0].storeDirect(J > 0 ? TriIds[J - 1][2 * I + 1] : 0);
+      L.Neighbor[1].storeDirect(I + 1 < G ? TriIds[J][2 * (I + 1) + 1]
+                                          : 0);
+      L.Neighbor[2].storeDirect(Upper);
+      L.Alive.storeDirect(1);
+
+      TmTriangle &U = (*Triangles)[Upper];
+      U.Vertex[0].storeDirect(P00);
+      U.Vertex[1].storeDirect(P11);
+      U.Vertex[2].storeDirect(P01);
+      // Edges: (P00,P11) diagonal; (P11,P01) top row; (P01,P00) left.
+      U.Neighbor[0].storeDirect(Lower);
+      U.Neighbor[1].storeDirect(J + 1 < G ? TriIds[J + 1][2 * I] : 0);
+      U.Neighbor[2].storeDirect(I > 0 ? TriIds[J][2 * (I - 1)] : 0);
+      U.Alive.storeDirect(1);
+    }
+
+  InitialArea = totalAliveAreaDirect();
+
+  // Seed the work queue with every initially bad triangle.
+  for (uint32_t J = 0; J < G; ++J)
+    for (uint32_t I = 0; I < G; ++I)
+      for (uint32_t K = 0; K < 2; ++K) {
+        uint32_t Id = TriIds[J][2 * I + K];
+        TmTriangle &T = (*Triangles)[Id];
+        uint32_t Edge;
+        if (needsRefinement(T.Vertex[0].loadDirect(),
+                            T.Vertex[1].loadDirect(),
+                            T.Vertex[2].loadDirect(), Edge))
+          WorkQueue->pushDirect(Id);
+      }
+}
+
+void YadaWorkload::replaceNeighbor(Tl2Txn &Tx, uint32_t Tri, uint32_t Old,
+                                   uint32_t New) {
+  if (Tri == 0)
+    return;
+  TmTriangle &T = (*Triangles)[Tri];
+  for (int E = 0; E < 3; ++E)
+    if (Tx.load(T.Neighbor[E]) == Old) {
+      Tx.store(T.Neighbor[E], New);
+      return;
+    }
+  assert(false && "stale adjacency: neighbor does not link back");
+}
+
+bool YadaWorkload::bisect(Tl2Txn &Tx, uint32_t Tri) {
+  TmTriangle &T = (*Triangles)[Tri];
+  if (Tx.load(T.Alive) == 0)
+    return false;
+
+  uint32_t A0 = Tx.load(T.Vertex[0]);
+  uint32_t A1 = Tx.load(T.Vertex[1]);
+  uint32_t A2 = Tx.load(T.Vertex[2]);
+  uint32_t E;
+  if (!needsRefinement(A0, A1, A2, E))
+    return false;
+  // Triangle budget: 4 children per step; the margin covers every worker
+  // passing this check simultaneously plus aborted-attempt leakage.
+  if (Triangles->used() + 4 * 64 >= Triangles->capacity())
+    return false;
+
+  const uint32_t V[3] = {A0, A1, A2};
+  uint32_t A = V[E];             // longest edge is (A, B)
+  uint32_t B = V[(E + 1) % 3];
+  uint32_t C = V[(E + 2) % 3];
+  uint32_t NAcross = Tx.load(T.Neighbor[E]);
+  uint32_t NLeft = Tx.load(T.Neighbor[(E + 2) % 3]);  // edge (C, A)
+  uint32_t NRight = Tx.load(T.Neighbor[(E + 1) % 3]); // edge (B, C)
+
+  uint32_t M = newPoint((Xs[A] + Xs[B]) / 2.0, (Ys[A] + Ys[B]) / 2.0);
+
+  // Children of T: T1 = (A, M, C), T2 = (M, B, C); both CCW.
+  uint32_t T1 = Triangles->allocate();
+  uint32_t T2 = Triangles->allocate();
+
+  uint32_t N1 = 0, N2 = 0, D = 0, F = 3;
+  if (NAcross != 0) {
+    // Locate the shared edge in the neighbor: consistently oriented
+    // meshes store it as (B, A).
+    TmTriangle &N = (*Triangles)[NAcross];
+    for (uint32_t I = 0; I < 3; ++I)
+      if (Tx.load(N.Vertex[I]) == B &&
+          Tx.load(N.Vertex[(I + 1) % 3]) == A) {
+        F = I;
+        break;
+      }
+    assert(F < 3 && "neighbor does not share the bisected edge");
+    D = Tx.load(N.Vertex[(F + 2) % 3]);
+    N1 = Triangles->allocate(); // (M, A, D)
+    N2 = Triangles->allocate(); // (B, M, D)
+  }
+
+  auto InitTri = [&](uint32_t Id, uint32_t VA, uint32_t VB, uint32_t VC,
+                     uint32_t NA, uint32_t NB, uint32_t NC) {
+    TmTriangle &X = (*Triangles)[Id];
+    Tx.store(X.Vertex[0], VA);
+    Tx.store(X.Vertex[1], VB);
+    Tx.store(X.Vertex[2], VC);
+    Tx.store(X.Neighbor[0], NA);
+    Tx.store(X.Neighbor[1], NB);
+    Tx.store(X.Neighbor[2], NC);
+    Tx.store(X.Alive, uint32_t{1});
+  };
+
+  // The midpoint M splits T into (A,M,C) and (M,B,C); when a neighbor
+  // shares edge AB, it splits symmetrically around M on the D side.
+  InitTri(T1, A, M, C, /*A,M*/ N1, /*M,C*/ T2, /*C,A*/ NLeft);
+  InitTri(T2, M, B, C, /*M,B*/ N2, /*B,C*/ NRight, /*C,M*/ T1);
+  replaceNeighbor(Tx, NLeft, Tri, T1);
+  replaceNeighbor(Tx, NRight, Tri, T2);
+
+  if (NAcross != 0) {
+    TmTriangle &N = (*Triangles)[NAcross];
+    uint32_t NAD = Tx.load(N.Neighbor[(F + 1) % 3]); // edge (A, D)
+    uint32_t NDB = Tx.load(N.Neighbor[(F + 2) % 3]); // edge (D, B)
+    InitTri(N1, M, A, D, /*M,A*/ T1, /*A,D*/ NAD, /*D,M*/ N2);
+    InitTri(N2, B, M, D, /*B,M*/ T2, /*M,D*/ N1, /*D,B*/ NDB);
+    replaceNeighbor(Tx, NAD, NAcross, N1);
+    replaceNeighbor(Tx, NDB, NAcross, N2);
+    Tx.store(N.Alive, uint32_t{0});
+  }
+  Tx.store(T.Alive, uint32_t{0});
+
+  // Queue any skinny children for further refinement.
+  uint32_t Scratch;
+  const uint32_t Children[4] = {T1, T2, N1, N2};
+  for (uint32_t Child : Children) {
+    if (Child == 0)
+      continue;
+    TmTriangle &X = (*Triangles)[Child];
+    if (needsRefinement(Tx.load(X.Vertex[0]), Tx.load(X.Vertex[1]),
+                        Tx.load(X.Vertex[2]), Scratch))
+      WorkQueue->push(Tx, Child);
+  }
+  return true;
+}
+
+void YadaWorkload::threadBody(Tl2Stm &Stm, ThreadId Thread) {
+  Tl2Txn Txn(Stm, Thread);
+  for (;;) {
+    std::optional<uint64_t> Work;
+    Txn.run(/*Tx=*/0, [&](Tl2Txn &Tx) { Work = WorkQueue->pop(Tx); });
+    if (!Work)
+      break;
+    Txn.run(/*Tx=*/1, [&](Tl2Txn &Tx) {
+      bisect(Tx, static_cast<uint32_t>(*Work));
+    });
+  }
+}
+
+double YadaWorkload::totalAliveAreaDirect() const {
+  double Area = 0.0;
+  for (uint32_t Id = 1; Id <= Triangles->used(); ++Id) {
+    const TmTriangle &T = (*Triangles)[Id];
+    if (T.Alive.loadDirect() == 0)
+      continue;
+    uint32_t A = T.Vertex[0].loadDirect();
+    uint32_t B = T.Vertex[1].loadDirect();
+    uint32_t C = T.Vertex[2].loadDirect();
+    Area += 0.5 * ((Xs[B] - Xs[A]) * (Ys[C] - Ys[A]) -
+                   (Xs[C] - Xs[A]) * (Ys[B] - Ys[A]));
+  }
+  return Area;
+}
+
+size_t YadaWorkload::aliveCountDirect() const {
+  size_t Count = 0;
+  for (uint32_t Id = 1; Id <= Triangles->used(); ++Id)
+    if ((*Triangles)[Id].Alive.loadDirect() != 0)
+      ++Count;
+  return Count;
+}
+
+bool YadaWorkload::verify(Tl2Stm &Stm) {
+  (void)Stm;
+  // 1. Area conservation: bisection never changes covered area.
+  double Area = totalAliveAreaDirect();
+  if (std::abs(Area - InitialArea) > 1e-9 * (1.0 + InitialArea))
+    return false;
+
+  // 2. Adjacency symmetry: every alive triangle's neighbor is alive,
+  //    links back, and shares exactly the claimed edge.
+  for (uint32_t Id = 1; Id <= Triangles->used(); ++Id) {
+    const TmTriangle &T = (*Triangles)[Id];
+    if (T.Alive.loadDirect() == 0)
+      continue;
+    for (int E = 0; E < 3; ++E) {
+      uint32_t N = T.Neighbor[E].loadDirect();
+      if (N == 0)
+        continue;
+      const TmTriangle &M = (*Triangles)[N];
+      if (M.Alive.loadDirect() == 0)
+        return false;
+      uint32_t EA = T.Vertex[E].loadDirect();
+      uint32_t EB = T.Vertex[(E + 1) % 3].loadDirect();
+      bool Back = false;
+      for (int F = 0; F < 3; ++F)
+        if (M.Neighbor[F].loadDirect() == Id &&
+            M.Vertex[F].loadDirect() == EB &&
+            M.Vertex[(F + 1) % 3].loadDirect() == EA)
+          Back = true;
+      if (!Back)
+        return false;
+    }
+  }
+  return true;
+}
+

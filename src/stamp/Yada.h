@@ -1,0 +1,115 @@
+//===- stamp/Yada.h - STAMP yada port (mesh refinement) ------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactional mesh refinement in the style of STAMP's yada: workers
+/// pull "bad" (skinny) triangles from a shared work queue and repair each
+/// inside one transaction that reads and rewrites a local patch of the
+/// mesh (the triangle, the neighbor across the refined edge, and the
+/// surrounding adjacency links), pushing newly created bad triangles back
+/// onto the queue.
+///
+/// Substitution (documented in DESIGN.md): the original refines via
+/// Ruppert's algorithm (circumcenter insertion with Bowyer-Watson cavity
+/// retriangulation); we use Rivara-style longest-edge bisection. Both are
+/// work-queue driven, both mutate a multi-triangle patch per transaction,
+/// and both create new work dynamically — the properties the paper's
+/// model and guidance interact with — while bisection admits a compact,
+/// exactly-verifiable implementation (triangle area is conserved).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STAMP_YADA_H
+#define GSTM_STAMP_YADA_H
+
+#include "core/Workload.h"
+#include "stamp/SizeClass.h"
+#include "stamp/TmPool.h"
+#include "stamp/TmQueue.h"
+#include "stm/TVar.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace gstm {
+
+/// A mesh triangle. Vertices are point indices in CCW order; Neighbor[i]
+/// is the triangle sharing edge (Vertex[i], Vertex[(i+1)%3]), 0 when that
+/// edge is on the boundary.
+struct TmTriangle {
+  TVar<uint32_t> Vertex[3];
+  TVar<uint32_t> Neighbor[3];
+  TVar<uint32_t> Alive{0};
+};
+
+/// Input parameters of one yada run.
+struct YadaParams {
+  /// Initial mesh: a jittered (Grid+1)^2 point lattice over the unit
+  /// square, two triangles per cell.
+  uint32_t Grid = 8;
+  /// A triangle is "bad" when its smallest angle is below this (degrees).
+  double MinAngleDeg = 28.0;
+  /// Edges at or below this length are never bisected (termination).
+  double MinEdgeLen = 0.02;
+
+  static YadaParams forSize(SizeClass S);
+};
+
+/// Mesh refinement on TL2.
+class YadaWorkload : public TlWorkload {
+public:
+  explicit YadaWorkload(const YadaParams &Params) : Params(Params) {}
+
+  std::string name() const override { return "yada"; }
+  unsigned numTxSites() const override { return 2; }
+  void setup(Tl2Stm &Stm, unsigned NumThreads, uint64_t Seed) override;
+  void threadBody(Tl2Stm &Stm, ThreadId Thread) override;
+  bool verify(Tl2Stm &Stm) override;
+
+  /// Alive triangles after the run (direct scan; for tests).
+  size_t aliveCountDirect() const;
+
+private:
+  using Pool = TmPool<TmTriangle>;
+
+  /// Allocates a point slot and writes its coordinates (the index is
+  /// private until a commit publishes it through a triangle).
+  uint32_t newPoint(double X, double Y);
+
+  /// True when the triangle (by vertex indices) violates the angle bound
+  /// and its longest edge is still refinable; \p LongestEdge receives the
+  /// local edge index of the longest edge.
+  bool needsRefinement(uint32_t A, uint32_t B, uint32_t C,
+                       uint32_t &LongestEdge) const;
+
+  /// One refinement step on triangle \p Tri inside transaction \p Tx.
+  /// Returns false when the triangle was already dead or acceptable.
+  bool bisect(Tl2Txn &Tx, uint32_t Tri);
+
+  /// Replaces \p Old with \p New in \p Tri's neighbor slots.
+  void replaceNeighbor(Tl2Txn &Tx, uint32_t Tri, uint32_t Old,
+                       uint32_t New);
+
+  double totalAliveAreaDirect() const;
+
+  YadaParams Params;
+  unsigned Threads = 0;
+
+  uint32_t PointCapacity = 0;
+  std::unique_ptr<double[]> Xs;
+  std::unique_ptr<double[]> Ys;
+  std::atomic<uint32_t> NumPoints{0};
+
+  std::unique_ptr<Pool> Triangles;
+  std::unique_ptr<TmQueue> WorkQueue;
+  double InitialArea = 0.0;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STAMP_YADA_H

@@ -1,0 +1,85 @@
+//===- stm/Observer.h - STM instrumentation interfaces -------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two hook interfaces through which the model layer plugs into an STM
+/// runtime without the STM depending on the model:
+///
+///  * TxEventObserver — receives every commit and abort, with causal
+///    attribution where available. The paper instruments TX_start,
+///    TX_abort, TX_commit in TL2 to emit its "transaction sequence"; this
+///    is the C++ equivalent.
+///  * StartGate — consulted at every transaction (re)start. Guided
+///    execution (paper Sec. V) withholds threads here when their
+///    (transaction, thread) pair is not part of any high-probability
+///    destination state of the current state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STM_OBSERVER_H
+#define GSTM_STM_OBSERVER_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+
+namespace gstm {
+
+/// Why a transaction attempt aborted.
+enum class AbortCauseKind : uint8_t {
+  /// Conflicting committer identified (pair in AbortEvent::Cause).
+  KnownCommitter,
+  /// Conflict detected but the committer's identity was lost (stale ring
+  /// entry or torn stripe read).
+  UnknownCommitter,
+  /// The user requested an explicit retry.
+  Explicit,
+};
+
+/// Description of one abort, passed to TxEventObserver::onAbort.
+struct AbortEvent {
+  ThreadId Thread;
+  TxId Tx;
+  AbortCauseKind Kind;
+  /// Valid when Kind == KnownCommitter.
+  TxThreadPair Cause;
+  /// Version that exposed the conflict, when known (else 0).
+  uint64_t CauseVersion;
+};
+
+/// Description of one successful commit.
+struct CommitEvent {
+  ThreadId Thread;
+  TxId Tx;
+  /// Write version installed by this commit; 0 for read-only commits.
+  uint64_t Version;
+  /// Number of aborted attempts this transaction suffered before
+  /// committing (for per-thread abort histograms).
+  uint32_t PriorAborts;
+};
+
+/// Receives the transaction event stream. Implementations must be
+/// thread-safe; callbacks may be invoked concurrently from all workers.
+class TxEventObserver {
+public:
+  virtual ~TxEventObserver() = default;
+  virtual void onCommit(const CommitEvent &E) = 0;
+  virtual void onAbort(const AbortEvent &E) = 0;
+};
+
+/// Gate consulted before each transaction attempt begins. May block the
+/// calling thread (guided execution holds threads back here) but must
+/// eventually return to guarantee progress.
+class StartGate {
+public:
+  virtual ~StartGate() = default;
+  virtual void onTxStart(ThreadId Thread, TxId Tx) = 0;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STM_OBSERVER_H

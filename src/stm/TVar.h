@@ -1,0 +1,78 @@
+//===- stm/TVar.h - Typed transactional variable --------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TVar<T> is the unit of transactionally shared state for the word-based
+/// TL2 runtime: a single 64-bit word holding a trivially copyable value of
+/// at most 8 bytes. Transactions access it through Tl2Txn::load/store;
+/// single-threaded setup and teardown code may use the Direct accessors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STM_TVAR_H
+#define GSTM_STM_TVAR_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace gstm {
+
+/// A transactionally shared variable of type \p T.
+///
+/// The value lives in one atomic 64-bit word so that the STM's read
+/// validation (stripe version pre/post checks) makes torn reads impossible.
+/// T must be trivially copyable and at most 8 bytes (integers, floats,
+/// doubles, enums, raw pointers, indices).
+template <typename T> class TVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TVar requires a trivially copyable type");
+  static_assert(sizeof(T) <= 8, "TVar holds at most one 64-bit word");
+
+public:
+  TVar() : Word(0) {}
+  explicit TVar(T Value) : Word(encode(Value)) {}
+
+  TVar(const TVar &) = delete;
+  TVar &operator=(const TVar &) = delete;
+
+  /// Non-transactional read. Only safe when no transaction can write this
+  /// variable concurrently (setup, teardown, quiescent verification).
+  T loadDirect() const {
+    return decode(Word.load(std::memory_order_acquire));
+  }
+
+  /// Non-transactional write. Only safe outside the concurrent phase; it
+  /// bypasses versioning, so a racing transaction would not detect it.
+  void storeDirect(T Value) {
+    Word.store(encode(Value), std::memory_order_release);
+  }
+
+  /// Underlying word, accessed by the STM runtime.
+  std::atomic<uint64_t> &word() { return Word; }
+  const std::atomic<uint64_t> &word() const { return Word; }
+
+  static uint64_t encode(T Value) {
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &Value, sizeof(T));
+    return Raw;
+  }
+
+  static T decode(uint64_t Raw) {
+    T Value;
+    std::memcpy(&Value, &Raw, sizeof(T));
+    return Value;
+  }
+
+private:
+  std::atomic<uint64_t> Word;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STM_TVAR_H

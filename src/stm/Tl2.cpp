@@ -1,0 +1,300 @@
+//===- stm/Tl2.cpp - TL2 algorithm implementation -------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tl2.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+using namespace gstm;
+
+void Tl2Txn::begin(TxId Tx) {
+  CurrentTx = Tx;
+  Rv = S.clock().sample();
+  ReadSet.clear();
+  WriteLog.clear();
+  WriteIndex.clear();
+  WriteFilter = 0;
+  Acquired.clear();
+  UndoLog.clear();
+}
+
+bool Tl2Txn::lookupWriteSet(const std::atomic<uint64_t> *Addr,
+                            uint64_t &Value) {
+  if ((WriteFilter & filterSignature(Addr)) == 0)
+    return false;
+  auto It = WriteIndex.find(Addr);
+  if (It == WriteIndex.end())
+    return false;
+  Value = WriteLog[It->second].Value;
+  return true;
+}
+
+uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
+  maybePreempt();
+  // Read-after-write: serve buffered values from the write set.
+  uint64_t Buffered;
+  if (lookupWriteSet(&Word, Buffered))
+    return Buffered;
+
+  std::atomic<uint64_t> &Stripe = S.lockTable().stripeFor(&Word);
+  uint64_t Pre = Stripe.load(std::memory_order_acquire);
+  StripeState PreState = LockTable::decode(Pre);
+  if (PreState.Locked) {
+    // Eager mode writes in place under encounter-time locks, so a stripe
+    // we already own is safe to read directly: its version was validated
+    // against rv at acquisition and nobody else can touch it.
+    if (PreState.Owner == packPair(CurrentTx, Thread))
+      return Word.load(std::memory_order_relaxed);
+    abortOnOwner(PreState.Owner);
+  }
+
+  uint64_t Value = Word.load(std::memory_order_acquire);
+
+  uint64_t Post = Stripe.load(std::memory_order_acquire);
+  if (Post != Pre) {
+    StripeState PostState = LockTable::decode(Post);
+    if (PostState.Locked)
+      abortOnOwner(PostState.Owner);
+    abortOnVersion(PostState.Version);
+  }
+  if (PreState.Version > Rv)
+    abortOnVersion(PreState.Version);
+
+  ReadSet.push_back(&Stripe);
+  return Value;
+}
+
+void Tl2Txn::storeWord(std::atomic<uint64_t> &Word, uint64_t Value) {
+  maybePreempt();
+  if (S.config().Detection == ConflictDetection::Eager) {
+    storeWordEager(Word, Value);
+    return;
+  }
+  uint64_t Sig = filterSignature(&Word);
+  if ((WriteFilter & Sig) != 0) {
+    auto It = WriteIndex.find(&Word);
+    if (It != WriteIndex.end()) {
+      WriteLog[It->second].Value = Value;
+      return;
+    }
+  }
+  WriteFilter |= Sig;
+  WriteIndex.emplace(&Word, static_cast<uint32_t>(WriteLog.size()));
+  WriteLog.push_back(WriteEntry{&Word, Value});
+}
+
+void Tl2Txn::storeWordEager(std::atomic<uint64_t> &Word, uint64_t Value) {
+  TxThreadPair Self = packPair(CurrentTx, Thread);
+  std::atomic<uint64_t> &Stripe = S.lockTable().stripeFor(&Word);
+  uint64_t Old = Stripe.load(std::memory_order_relaxed);
+  for (;;) {
+    StripeState OldState = LockTable::decode(Old);
+    if (OldState.Locked) {
+      if (OldState.Owner == Self)
+        break; // stripe already ours from an earlier write
+      abortOnOwner(OldState.Owner);
+    }
+    // Acquiring a stripe newer than our snapshot would let the attempt
+    // mix pre- and post-conflict state; abort instead, as TL2's eager
+    // variant does.
+    if (OldState.Version > Rv)
+      abortOnVersion(OldState.Version);
+    if (Stripe.compare_exchange_weak(Old, LockTable::encodeLocked(Self),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+      Acquired.push_back(
+          AcquiredLock{S.lockTable().indexFor(&Word), Old});
+      break;
+    }
+  }
+  UndoLog.emplace_back(&Word, Word.load(std::memory_order_relaxed));
+  Word.store(Value, std::memory_order_release);
+}
+
+void Tl2Txn::undoEagerWrites() {
+  for (auto It = UndoLog.rbegin(); It != UndoLog.rend(); ++It)
+    It->first->store(It->second, std::memory_order_release);
+  UndoLog.clear();
+}
+
+void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
+  Tl2Stats &Stats = S.stats();
+  TxThreadPair Self = packPair(CurrentTx, Thread);
+
+  // Read-only transactions: every read was validated against rv when it
+  // happened, so the snapshot is consistent and no locks are needed.
+  // (Eager attempts that wrote hold stripes in Acquired instead.)
+  if (WriteLog.empty() && Acquired.empty()) {
+    Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+    if (TxEventObserver *Obs = S.observer())
+      Obs->onCommit(CommitEvent{Thread, CurrentTx, /*Version=*/0,
+                                PriorAborts});
+    return;
+  }
+
+  // Lazy mode: acquire the write-set stripe locks in index order.
+  // Ordered acquisition makes lock-acquisition deadlock impossible, so a
+  // bounded-spin bailout is unnecessary; contention surfaces as
+  // read-time / validation aborts. Eager mode already holds its stripes
+  // (acquired at encounter time, in Acquired).
+  StripeScratch.clear();
+  for (const WriteEntry &E : WriteLog)
+    StripeScratch.push_back(S.lockTable().indexFor(E.Addr));
+  std::sort(StripeScratch.begin(), StripeScratch.end());
+  StripeScratch.erase(
+      std::unique(StripeScratch.begin(), StripeScratch.end()),
+      StripeScratch.end());
+
+  for (size_t Index : StripeScratch) {
+    std::atomic<uint64_t> &Stripe = S.lockTable().stripeAt(Index);
+    uint64_t Old = Stripe.load(std::memory_order_relaxed);
+    for (;;) {
+      StripeState OldState = LockTable::decode(Old);
+      if (OldState.Locked)
+        abortOnOwner(OldState.Owner); // rollback happens in the report
+      if (Stripe.compare_exchange_weak(Old, LockTable::encodeLocked(Self),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+        break;
+    }
+    Acquired.push_back(AcquiredLock{Index, Old});
+  }
+
+  // preLockWordFor binary-searches Acquired by stripe address; eager
+  // acquisition happens in encounter order, so normalize first.
+  if (S.config().Detection == ConflictDetection::Eager)
+    std::sort(Acquired.begin(), Acquired.end(),
+              [](const AcquiredLock &A, const AcquiredLock &B) {
+                return A.StripeIndex < B.StripeIndex;
+              });
+
+  uint64_t Wv = S.clock().advance();
+
+  // TL2 optimization: if no commit interleaved between our rv sample and
+  // our clock advance, the read set cannot have changed.
+  if (Wv != Rv + 1) {
+    for (const std::atomic<uint64_t> *Stripe : ReadSet) {
+      uint64_t Word = Stripe->load(std::memory_order_acquire);
+      StripeState State = LockTable::decode(Word);
+      if (State.Locked) {
+        if (State.Owner != Self)
+          abortOnOwner(State.Owner);
+        // Locked by self: the stripe is in our write set, but the read
+        // that logged it must still be validated against the version the
+        // stripe had when *we* locked it — otherwise a commit that slid
+        // in between our read and our lock acquisition goes undetected
+        // and its update is silently overwritten.
+        uint64_t PreLock = preLockWordFor(Stripe);
+        StripeState PreLockState = LockTable::decode(PreLock);
+        if (PreLockState.Version > Rv)
+          abortOnVersion(PreLockState.Version);
+        continue;
+      }
+      if (State.Version > Rv)
+        abortOnVersion(State.Version);
+    }
+  }
+
+  // Publish attribution before making the new version visible so that a
+  // victim observing version Wv can already resolve the committer.
+  S.commitRing().record(Wv, Self);
+
+  for (const WriteEntry &E : WriteLog)
+    E.Addr->store(E.Value, std::memory_order_release);
+  for (const AcquiredLock &L : Acquired)
+    S.lockTable().stripeAt(L.StripeIndex)
+        .store(LockTable::encodeVersion(Wv), std::memory_order_release);
+  Acquired.clear();
+
+  Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+  if (TxEventObserver *Obs = S.observer())
+    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts});
+}
+
+uint64_t Tl2Txn::preLockWordFor(const std::atomic<uint64_t> *Stripe) const {
+  // Acquired is sorted by stripe index and the lock table is one
+  // contiguous array, so pointer order matches index order.
+  auto It = std::lower_bound(
+      Acquired.begin(), Acquired.end(), Stripe,
+      [this](const AcquiredLock &L, const std::atomic<uint64_t> *Ptr) {
+        return &S.lockTable().stripeAt(L.StripeIndex) < Ptr;
+      });
+  assert(It != Acquired.end() &&
+         &S.lockTable().stripeAt(It->StripeIndex) == Stripe &&
+         "self-locked stripe missing from the acquired list");
+  return It->PreviousWord;
+}
+
+void Tl2Txn::releaseAcquiredLocks() {
+  // Restore the pre-lock words so the stripes revert to their old
+  // versions; nothing was written back yet.
+  for (auto It = Acquired.rbegin(); It != Acquired.rend(); ++It)
+    S.lockTable().stripeAt(It->StripeIndex)
+        .store(It->PreviousWord, std::memory_order_release);
+  Acquired.clear();
+}
+
+void Tl2Txn::abortOnOwner(TxThreadPair Owner) {
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                 AbortCauseKind::KnownCommitter, Owner,
+                                 /*CauseVersion=*/0});
+}
+
+void Tl2Txn::abortOnVersion(uint64_t Version) {
+  TxThreadPair Committer;
+  if (S.commitRing().lookup(Version, Committer))
+    reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                   AbortCauseKind::KnownCommitter, Committer,
+                                   Version});
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                 AbortCauseKind::UnknownCommitter,
+                                 /*Cause=*/0, Version});
+}
+
+void Tl2Txn::abortUnknown() {
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
+                                 AbortCauseKind::UnknownCommitter,
+                                 /*Cause=*/0, /*CauseVersion=*/0});
+}
+
+void Tl2Txn::retryAbort() {
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx, AbortCauseKind::Explicit,
+                                 /*Cause=*/0, /*CauseVersion=*/0});
+}
+
+void Tl2Txn::reportAbortAndThrow(const AbortEvent &E) {
+  // Eager attempts may abort while holding stripes mid-run: revert their
+  // in-place writes, then free the stripes. (Lazy commit aborts released
+  // their locks already; both calls are no-ops then.)
+  undoEagerWrites();
+  releaseAcquiredLocks();
+  LastEnemyKnown = E.Kind == AbortCauseKind::KnownCommitter;
+  LastEnemy = LastEnemyKnown ? E.Cause : 0;
+  LastOpens = ReadSet.size() + WriteLog.size();
+  S.stats().Aborts.fetch_add(1, std::memory_order_relaxed);
+  if (TxEventObserver *Obs = S.observer())
+    Obs->onAbort(E);
+  throw TxAbortException{};
+}
+
+void Tl2Txn::backoff(uint32_t Attempts) const {
+  switch (S.config().Backoff) {
+  case BackoffKind::None:
+    return;
+  case BackoffKind::Yield:
+    std::this_thread::yield();
+    return;
+  case BackoffKind::Exponential: {
+    unsigned Shift = std::min(Attempts, 10u);
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(50ull << Shift));
+    return;
+  }
+  }
+}

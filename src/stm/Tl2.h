@@ -1,0 +1,306 @@
+//===- stm/Tl2.h - TL2 software transactional memory ---------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A word-based, write-back STM implementing the TL2 algorithm (Dice,
+/// Shalev, Shavit, DISC'06): transactions sample a global version clock at
+/// start (rv), log transactional reads, buffer transactional writes, and at
+/// commit acquire per-stripe versioned locks, advance the clock (wv),
+/// validate that no read stripe is newer than rv, write back, and release
+/// the locks at version wv. Lazy (commit-time) conflict detection matches
+/// the configuration the paper evaluates.
+///
+/// Two paper-specific extensions over stock TL2:
+///  * every commit registers (wv -> committer) in a CommitRing so aborting
+///    readers can attribute their abort to the causal commit, and
+///  * a StartGate hook lets guided execution withhold a transaction before
+///    it (re)starts.
+///
+/// Usage:
+/// \code
+///   Tl2Stm Stm;
+///   TVar<uint64_t> Counter{0};
+///   Tl2Txn Txn(Stm, /*Thread=*/0);
+///   Txn.run(/*Tx=*/0, [&](Tl2Txn &Tx) {
+///     Tx.store(Counter, Tx.load(Counter) + 1);
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_STM_TL2_H
+#define GSTM_STM_TL2_H
+
+#include "stm/CommitRing.h"
+#include "stm/Contention.h"
+#include "stm/LockTable.h"
+#include "stm/Observer.h"
+#include "stm/VersionClock.h"
+#include "support/Ids.h"
+
+#include <chrono>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+namespace gstm {
+
+template <typename T> class TVar;
+
+/// Internal control-flow token thrown on transaction abort and caught by
+/// Tl2Txn::run's retry loop. Never escapes the STM; user code must not
+/// catch it.
+struct TxAbortException {};
+
+/// When conflicts are detected (paper Sec. II: "STMs provide options of
+/// eager and lazy conflict detection").
+enum class ConflictDetection : uint8_t {
+  /// Commit-time locking with buffered (write-back) updates — the TL2
+  /// default the paper evaluates.
+  Lazy,
+  /// Encounter-time locking with in-place (write-through) updates and an
+  /// undo log; conflicting writers abort at first touch.
+  Eager,
+};
+
+/// Retry back-off policy applied after an abort.
+enum class BackoffKind : uint8_t {
+  /// Retry immediately.
+  None,
+  /// Yield the CPU once; avoids burning a scheduling quantum re-aborting
+  /// against a descheduled lock holder (we run more threads than cores).
+  Yield,
+  /// Exponentially growing sleep, capped.
+  Exponential,
+};
+
+/// Construction-time configuration of a Tl2Stm runtime.
+struct Tl2Config {
+  unsigned LockTableBits = 20;
+  unsigned CommitRingBits = 13;
+  ConflictDetection Detection = ConflictDetection::Lazy;
+  BackoffKind Backoff = BackoffKind::Yield;
+  /// Scheduler perturbation: when non-zero, each transactional access
+  /// yields the CPU with probability 2^-PreemptShift. On a machine with
+  /// fewer cores than worker threads, transactions otherwise execute
+  /// back-to-back within a scheduling quantum and almost never overlap,
+  /// which would suppress the conflicts/aborts whose non-determinism the
+  /// paper studies; random yield points restore multicore-like
+  /// interleaving density (see DESIGN.md, substitutions). 0 = off.
+  unsigned PreemptShift = 0;
+};
+
+/// Global counters maintained by the runtime (relaxed; for throughput and
+/// abort-ratio reporting, not for the model).
+struct Tl2Stats {
+  std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> Aborts{0};
+};
+
+/// One STM runtime instance: the shared state (clock, lock table, ring)
+/// plus the instrumentation hooks. Workloads create one per run.
+class Tl2Stm {
+public:
+  explicit Tl2Stm(const Tl2Config &Config = Tl2Config())
+      : Cfg(Config), Locks(Config.LockTableBits), Ring(Config.CommitRingBits) {
+  }
+
+  Tl2Stm(const Tl2Stm &) = delete;
+  Tl2Stm &operator=(const Tl2Stm &) = delete;
+
+  /// Installs \p Obs as the event observer (nullptr to disable). Must not
+  /// be called while transactions are running.
+  void setObserver(TxEventObserver *Obs) { Observer = Obs; }
+
+  /// Installs \p G as the start gate (nullptr to disable). Must not be
+  /// called while transactions are running.
+  void setGate(StartGate *G) { Gate = G; }
+
+  /// Installs a contention manager that overrides the config's backoff
+  /// policy (nullptr to restore it). Must not be called while
+  /// transactions are running.
+  void setContentionManager(ContentionManager *M) { Cm = M; }
+
+  const Tl2Config &config() const { return Cfg; }
+  LockTable &lockTable() { return Locks; }
+  VersionClock &clock() { return Clock; }
+  CommitRing &commitRing() { return Ring; }
+  TxEventObserver *observer() const { return Observer; }
+  StartGate *gate() const { return Gate; }
+  ContentionManager *contentionManager() const { return Cm; }
+  Tl2Stats &stats() { return Counters; }
+  const Tl2Stats &stats() const { return Counters; }
+
+private:
+  Tl2Config Cfg;
+  VersionClock Clock;
+  LockTable Locks;
+  CommitRing Ring;
+  TxEventObserver *Observer = nullptr;
+  StartGate *Gate = nullptr;
+  ContentionManager *Cm = nullptr;
+  Tl2Stats Counters;
+};
+
+/// Per-thread transaction descriptor. Reused across transactions; the
+/// read/write sets keep their capacity between runs. Not thread-safe: one
+/// descriptor per worker thread.
+class Tl2Txn {
+public:
+  Tl2Txn(Tl2Stm &Stm, ThreadId Thread)
+      : S(Stm), Thread(Thread),
+        PreemptLcg(0x2545f4914f6cdd1dULL ^
+                   (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
+
+  Tl2Txn(const Tl2Txn &) = delete;
+  Tl2Txn &operator=(const Tl2Txn &) = delete;
+
+  /// Executes \p Body transactionally at static site \p Tx, retrying on
+  /// conflict until the transaction commits. \p Body receives this
+  /// descriptor and must funnel every shared access through load/store.
+  template <typename BodyFn> void run(TxId Tx, BodyFn &&Body) {
+    ContentionManager *Cm = S.contentionManager();
+    if (Cm)
+      Cm->onTxBegin(Thread);
+    uint32_t Attempts = 0;
+    for (;;) {
+      if (StartGate *G = S.gate())
+        G->onTxStart(Thread, Tx);
+      begin(Tx);
+      try {
+        Body(*this);
+        commitOrThrow(Attempts);
+        if (Cm)
+          Cm->onCommit(Thread, ReadSet.size() + WriteLog.size());
+        return;
+      } catch (const TxAbortException &) {
+        // Cause already reported; locks already released.
+      }
+      ++Attempts;
+      if (Cm) {
+        uint64_t Ns =
+            Cm->onAbort(Thread, LastEnemy, LastEnemyKnown, Attempts,
+                        LastOpens);
+        if (Ns > 0)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(Ns));
+      } else {
+        backoff(Attempts);
+      }
+    }
+  }
+
+  /// Transactional read of a raw 64-bit word.
+  uint64_t loadWord(const std::atomic<uint64_t> &Word);
+
+  /// Transactional (buffered) write of a raw 64-bit word.
+  void storeWord(std::atomic<uint64_t> &Word, uint64_t Value);
+
+  /// Typed transactional read of a TVar.
+  template <typename T> T load(const TVar<T> &Var) {
+    return TVar<T>::decode(loadWord(Var.word()));
+  }
+
+  /// Typed transactional write of a TVar. The value type is non-deduced
+  /// so integer literals convert to the variable's type.
+  template <typename T>
+  void store(TVar<T> &Var, std::type_identity_t<T> Value) {
+    storeWord(Var.word(), TVar<T>::encode(Value));
+  }
+
+  /// Explicitly aborts and retries the current transaction attempt.
+  [[noreturn]] void retryAbort();
+
+  ThreadId threadId() const { return Thread; }
+  TxId txId() const { return CurrentTx; }
+
+  /// Read version of the attempt in flight (exposed for tests).
+  uint64_t readVersion() const { return Rv; }
+  size_t readSetSize() const { return ReadSet.size(); }
+  size_t writeSetSize() const { return WriteLog.size(); }
+
+private:
+  struct WriteEntry {
+    std::atomic<uint64_t> *Addr;
+    uint64_t Value;
+  };
+  struct AcquiredLock {
+    size_t StripeIndex;
+    uint64_t PreviousWord;
+  };
+
+  void begin(TxId Tx);
+  /// Commits the attempt or reports the abort cause and throws.
+  void commitOrThrow(uint32_t PriorAborts);
+  void backoff(uint32_t Attempts) const;
+
+  /// Eager-mode store: lock the stripe at first touch, log the old value
+  /// and write in place.
+  void storeWordEager(std::atomic<uint64_t> &Word, uint64_t Value);
+  /// Reverts in-place writes of an aborting eager attempt.
+  void undoEagerWrites();
+
+  /// Scheduler perturbation (see Tl2Config::PreemptShift).
+  void maybePreempt() {
+    unsigned Shift = S.config().PreemptShift;
+    if (Shift == 0)
+      return;
+    PreemptLcg = PreemptLcg * 6364136223846793005ULL +
+                 1442695040888963407ULL;
+    if (((PreemptLcg >> 33) & ((uint64_t{1} << Shift) - 1)) == 0)
+      std::this_thread::yield();
+  }
+
+  /// Reports an abort caused by a known conflicting committer and throws.
+  [[noreturn]] void abortOnOwner(TxThreadPair Owner);
+  /// Reports an abort caused by a too-new version and throws; attribution
+  /// goes through the commit ring.
+  [[noreturn]] void abortOnVersion(uint64_t Version);
+  [[noreturn]] void abortUnknown();
+  [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
+  void releaseAcquiredLocks();
+  /// Pre-lock word of a stripe this commit already locked (stripe must be
+  /// in Acquired).
+  uint64_t preLockWordFor(const std::atomic<uint64_t> *Stripe) const;
+
+  /// Returns true and fills \p Value when \p Addr is in the write set.
+  bool lookupWriteSet(const std::atomic<uint64_t> *Addr, uint64_t &Value);
+
+  static uint64_t filterSignature(const void *Addr) {
+    auto Key = reinterpret_cast<uintptr_t>(Addr) >> 3;
+    return uint64_t{1} << ((Key * 0x9e3779b97f4a7c15ULL) >> 58);
+  }
+
+  Tl2Stm &S;
+  ThreadId Thread;
+  TxId CurrentTx = 0;
+  uint64_t Rv = 0;
+  uint64_t PreemptLcg;
+  /// Conflicting transaction of the most recent abort and the aborted
+  /// attempt's read+write set size, for contention managers.
+  TxThreadPair LastEnemy = 0;
+  bool LastEnemyKnown = false;
+  uint64_t LastOpens = 0;
+
+  std::vector<const std::atomic<uint64_t> *> ReadSet;
+  std::vector<WriteEntry> WriteLog;
+  std::unordered_map<const void *, uint32_t> WriteIndex;
+  uint64_t WriteFilter = 0;
+  std::vector<size_t> StripeScratch;
+  std::vector<AcquiredLock> Acquired;
+  /// Eager mode: (address, previous value) pairs, restored in reverse on
+  /// abort. Duplicate addresses are fine — reverse restore ends at the
+  /// oldest value.
+  std::vector<std::pair<std::atomic<uint64_t> *, uint64_t>> UndoLog;
+};
+
+} // namespace gstm
+
+#endif // GSTM_STM_TL2_H

@@ -1,0 +1,63 @@
+//===- support/Barrier.h - Reusable thread barrier ------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable counting barrier. STAMP-style workloads synchronize phases
+/// (e.g. kmeans rounds) and SynQuake synchronizes frames across server
+/// threads with barriers; this wrapper exists so the suite does not depend
+/// on the availability of std::barrier in the host toolchain and so that
+/// arrive-and-wait can be condition-variable based (we run many more
+/// threads than cores, so spinning would invert the scheduling behaviour
+/// the experiments rely on).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_BARRIER_H
+#define GSTM_SUPPORT_BARRIER_H
+
+#include <cassert>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace gstm {
+
+/// Reusable barrier for a fixed number of participants.
+class Barrier {
+public:
+  explicit Barrier(size_t NumThreads) : Expected(NumThreads) {
+    assert(NumThreads > 0 && "barrier needs at least one participant");
+  }
+
+  Barrier(const Barrier &) = delete;
+  Barrier &operator=(const Barrier &) = delete;
+
+  /// Blocks until all participants have arrived; then all are released and
+  /// the barrier resets for the next phase.
+  void arriveAndWait() {
+    std::unique_lock<std::mutex> Lock(M);
+    size_t Gen = Generation;
+    if (++Arrived == Expected) {
+      Arrived = 0;
+      ++Generation;
+      Cv.notify_all();
+      return;
+    }
+    Cv.wait(Lock, [&] { return Generation != Gen; });
+  }
+
+private:
+  std::mutex M;
+  std::condition_variable Cv;
+  size_t Expected;
+  size_t Arrived = 0;
+  size_t Generation = 0;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_BARRIER_H

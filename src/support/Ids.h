@@ -1,0 +1,51 @@
+//===- support/Ids.h - Thread / transaction identifiers ------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread and transaction identifiers shared by the STM runtimes and the
+/// model layer. The paper's thread transactional state (TTS) is built from
+/// (transaction id, thread id) pairs — e.g. `<a6>` is transaction `a`
+/// executed by thread 6 — so the pair is packed into one 32-bit word that
+/// the model can hash and compare cheaply ("efficient bitwise structure",
+/// paper Sec. VI).
+///
+/// Transaction ids are static per-site identifiers: each TM_BEGIN site in a
+/// workload is numbered at construction time, mirroring the paper's
+/// source-level numbering of TM_BEGIN(ID).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_IDS_H
+#define GSTM_SUPPORT_IDS_H
+
+#include <cstdint>
+
+namespace gstm {
+
+/// Worker-thread index, 0-based and dense within a run.
+using ThreadId = uint16_t;
+
+/// Static transaction-site identifier, 0-based and dense per workload.
+using TxId = uint16_t;
+
+/// A (transaction, thread) pair packed into 32 bits: txid in the high half,
+/// thread id in the low half.
+using TxThreadPair = uint32_t;
+
+inline TxThreadPair packPair(TxId Tx, ThreadId Thread) {
+  return (static_cast<uint32_t>(Tx) << 16) | static_cast<uint32_t>(Thread);
+}
+
+inline TxId pairTx(TxThreadPair P) { return static_cast<TxId>(P >> 16); }
+
+inline ThreadId pairThread(TxThreadPair P) {
+  return static_cast<ThreadId>(P & 0xffffu);
+}
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_IDS_H

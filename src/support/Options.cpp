@@ -1,0 +1,59 @@
+//===- support/Options.cpp ------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+
+#include <cstdlib>
+
+using namespace gstm;
+
+Options Options::parse(int Argc, const char *const *Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0)
+      continue;
+    Arg = Arg.substr(2);
+    auto Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      Opts.Values[Arg] = "1";
+    else
+      Opts.Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+  }
+  return Opts;
+}
+
+int64_t Options::getInt(const std::string &Key, int64_t Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  char *End = nullptr;
+  int64_t V = std::strtoll(It->second.c_str(), &End, 10);
+  return (End && *End == '\0') ? V : Default;
+}
+
+double Options::getDouble(const std::string &Key, double Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  char *End = nullptr;
+  double V = std::strtod(It->second.c_str(), &End);
+  return (End && *End == '\0') ? V : Default;
+}
+
+std::string Options::getString(const std::string &Key,
+                               const std::string &Default) const {
+  auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+bool Options::getBool(const std::string &Key, bool Default) const {
+  auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return It->second != "0" && It->second != "false";
+}

@@ -1,0 +1,46 @@
+//===- support/Options.h - Minimal CLI option parsing --------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny `--key=value` / `--flag` command-line parser used by every bench
+/// harness and example so each binary can scale its run count, thread
+/// count, workload size and Tfactor without a heavyweight dependency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_OPTIONS_H
+#define GSTM_SUPPORT_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gstm {
+
+/// Parsed command-line options of the form `--key=value` or bare `--flag`.
+class Options {
+public:
+  /// Parses \p Argv. Unrecognized positional arguments are ignored.
+  /// A bare `--flag` is stored with the value "1".
+  static Options parse(int Argc, const char *const *Argv);
+
+  /// Returns the value of \p Key, or \p Default when absent/unparsable.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+  double getDouble(const std::string &Key, double Default) const;
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+  bool getBool(const std::string &Key, bool Default) const;
+
+  bool has(const std::string &Key) const { return Values.count(Key) != 0; }
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_OPTIONS_H

@@ -1,0 +1,61 @@
+//===- support/SplitMix64.h - Deterministic 64-bit PRNG ------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (Steele et al.'s SplitMix64) used by
+/// every workload generator in the suite. Workloads must be reproducible
+/// from a seed so that guided and default executions see identical inputs;
+/// std::mt19937_64 would also work but SplitMix64 is cheaper and its state
+/// is a single word, which keeps per-thread generators copyable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_SPLITMIX64_H
+#define GSTM_SUPPORT_SPLITMIX64_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gstm {
+
+/// Deterministic 64-bit pseudo-random number generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniformly distributed in [0, Bound).
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    // Multiply-shift reduction (Lemire); bias is negligible for our use.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Returns an independent generator derived from this one's stream.
+  /// Used to hand each worker thread its own deterministic stream.
+  SplitMix64 split() { return SplitMix64(next() ^ 0xd1b54a32d192ed03ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_SPLITMIX64_H

@@ -1,0 +1,111 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace gstm;
+
+double RunningStat::mean() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double X : Samples)
+    Sum += X;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double RunningStat::stddev() const {
+  if (Samples.size() < 2)
+    return 0.0;
+  double M = mean();
+  double SumSq = 0.0;
+  for (double X : Samples)
+    SumSq += (X - M) * (X - M);
+  return std::sqrt(SumSq / static_cast<double>(Samples.size() - 1));
+}
+
+double RunningStat::trimmedStddev(double TrimFraction) const {
+  size_t N = Samples.size();
+  size_t Drop = static_cast<size_t>(static_cast<double>(N) * TrimFraction);
+  if (N < 2 * Drop + 2)
+    return stddev();
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  double Sum = 0.0;
+  size_t Kept = N - 2 * Drop;
+  for (size_t I = Drop; I < N - Drop; ++I)
+    Sum += Sorted[I];
+  double Mean = Sum / static_cast<double>(Kept);
+  double SumSq = 0.0;
+  for (size_t I = Drop; I < N - Drop; ++I)
+    SumSq += (Sorted[I] - Mean) * (Sorted[I] - Mean);
+  return std::sqrt(SumSq / static_cast<double>(Kept - 1));
+}
+
+double RunningStat::min() const {
+  assert(!Samples.empty() && "min() of empty sample set");
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double RunningStat::max() const {
+  assert(!Samples.empty() && "max() of empty sample set");
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+void AbortHistogram::merge(const AbortHistogram &Other) {
+  for (const auto &[Aborts, Count] : Other.Freq)
+    Freq[Aborts] += Count;
+}
+
+uint64_t AbortHistogram::frequency(uint64_t Aborts) const {
+  auto It = Freq.find(Aborts);
+  return It == Freq.end() ? 0 : It->second;
+}
+
+double AbortHistogram::tailMetric() const {
+  // The paper's metric sums the square of each *distinct* abort count seen,
+  // so a distribution whose tail reaches j=40 scores 1600 from that bucket
+  // alone regardless of its frequency.
+  double Sum = 0.0;
+  for (const auto &[Aborts, Count] : Freq) {
+    (void)Count;
+    Sum += static_cast<double>(Aborts) * static_cast<double>(Aborts);
+  }
+  return Sum;
+}
+
+uint64_t AbortHistogram::maxAborts() const {
+  if (Freq.empty())
+    return 0;
+  return Freq.rbegin()->first;
+}
+
+uint64_t AbortHistogram::totalCommits() const {
+  uint64_t Total = 0;
+  for (const auto &[Aborts, Count] : Freq) {
+    (void)Aborts;
+    Total += Count;
+  }
+  return Total;
+}
+
+uint64_t AbortHistogram::totalAborts() const {
+  uint64_t Total = 0;
+  for (const auto &[Aborts, Count] : Freq)
+    Total += Aborts * Count;
+  return Total;
+}
+
+double gstm::percentImprovement(double Baseline, double Optimized) {
+  if (Baseline == 0.0)
+    return 0.0;
+  return 100.0 * (Baseline - Optimized) / Baseline;
+}

@@ -1,0 +1,94 @@
+//===- support/Stats.h - Variance / histogram statistics -----------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Statistics used throughout the evaluation: sample standard deviation of
+/// execution-time readings (paper Sec. II-B), abort-count histograms, and
+/// the abort-tail metric `tail_i = sum over distinct abort counts j of j^2`
+/// (paper Sec. VII) that weights the tail of the abort distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_STATS_H
+#define GSTM_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gstm {
+
+/// Accumulates scalar samples and reports mean / sample standard deviation.
+///
+/// The paper quantifies execution-time variance as the sample standard
+/// deviation s = sqrt(1/(N-1) * sum (x_i - mean)^2) over repeated runs.
+class RunningStat {
+public:
+  void add(double X) { Samples.push_back(X); }
+
+  size_t count() const { return Samples.size(); }
+  double mean() const;
+
+  /// Sample standard deviation; 0 when fewer than two samples exist.
+  double stddev() const;
+
+  /// Sample standard deviation after discarding the top and bottom
+  /// \p TrimFraction of the sorted samples. Used where a shared host
+  /// injects rare latency spikes unrelated to the system under test; 0.05
+  /// drops the extreme 5% on each side.
+  double trimmedStddev(double TrimFraction) const;
+
+  double min() const;
+  double max() const;
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  std::vector<double> Samples;
+};
+
+/// Histogram over small non-negative integer observations, used for the
+/// per-thread "number of aborts seen before commit" distributions that the
+/// paper plots in Figures 5, 7 and 8.
+class AbortHistogram {
+public:
+  /// Records that a transaction committed after \p Aborts aborts.
+  void add(uint64_t Aborts) { ++Freq[Aborts]; }
+
+  /// Merges another histogram into this one.
+  void merge(const AbortHistogram &Other);
+
+  /// Returns the frequency of exactly \p Aborts aborts (0 if never seen).
+  uint64_t frequency(uint64_t Aborts) const;
+
+  /// Paper tail metric: sum of j^2 over every *distinct* abort count j with
+  /// non-zero frequency. Squaring emphasizes the tail; a longer tail of
+  /// high abort counts yields a larger metric.
+  double tailMetric() const;
+
+  /// Largest abort count observed (0 for an empty histogram).
+  uint64_t maxAborts() const;
+
+  /// Total number of recorded commits.
+  uint64_t totalCommits() const;
+
+  /// Total number of aborts across all recorded commits.
+  uint64_t totalAborts() const;
+
+  const std::map<uint64_t, uint64_t> &buckets() const { return Freq; }
+
+private:
+  std::map<uint64_t, uint64_t> Freq;
+};
+
+/// Percentage improvement of \p Optimized relative to \p Baseline
+/// (positive = improvement). Returns 0 when the baseline is 0.
+double percentImprovement(double Baseline, double Optimized);
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_STATS_H

@@ -1,0 +1,44 @@
+//===- support/Timer.h - Monotonic wall-clock timer ----------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin monotonic-clock timer. The paper measures the execution time of
+/// each thread function (the quantity whose variance is optimized) and the
+/// per-frame processing time in SynQuake; both use this timer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_TIMER_H
+#define GSTM_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace gstm {
+
+/// Measures elapsed wall-clock time from construction or last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last reset.
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Elapsed time in milliseconds since construction / last reset.
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_TIMER_H

@@ -1,0 +1,155 @@
+//===- tests/controller_test.cpp - guided-execution controller tests -------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/GuideController.h"
+
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace gstm;
+
+namespace {
+
+StateTuple makeTuple(TxId CommitTx, ThreadId CommitThread,
+                     std::initializer_list<std::pair<TxId, ThreadId>>
+                         Aborts = {}) {
+  StateTuple S;
+  S.Commit = packPair(CommitTx, CommitThread);
+  for (auto [Tx, T] : Aborts)
+    S.Aborts.push_back(packPair(Tx, T));
+  S.canonicalize();
+  return S;
+}
+
+/// Model with A -> B dominant and A -> D rare; B's tuple contains pair
+/// (1,1) and (2,3); D's contains (3,4).
+Tsa biasedModel() {
+  Tsa Model;
+  StateTuple A = makeTuple(0, 0);
+  StateTuple B = makeTuple(1, 1, {{2, 3}});
+  StateTuple D = makeTuple(3, 4);
+  std::vector<StateTuple> Run;
+  for (int I = 0; I < 9; ++I) {
+    Run.push_back(A);
+    Run.push_back(B);
+  }
+  Run.push_back(A);
+  Run.push_back(D);
+  Model.addRun(Run);
+  return Model;
+}
+
+} // namespace
+
+TEST(GuideControllerTest, StartsUnknownAndTracksCommits) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideConfig Cfg;
+  GuideController Controller(Policy, Cfg);
+
+  EXPECT_EQ(Controller.currentState(), UnknownState);
+
+  // Commit of (tx 0, thread 0) with no pending aborts forms tuple A.
+  Controller.onCommit(CommitEvent{0, 0, 1, 0});
+  EXPECT_EQ(Controller.currentState(), Policy.resolve(makeTuple(0, 0)));
+  EXPECT_EQ(Controller.stats().KnownStates, 1u);
+}
+
+TEST(GuideControllerTest, PendingAbortsFoldIntoNextCommit) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideController Controller(Policy, GuideConfig{});
+
+  Controller.onAbort(AbortEvent{3, 2, AbortCauseKind::UnknownCommitter, 0, 0});
+  Controller.onCommit(CommitEvent{1, 1, 2, 0});
+  // Tuple {<c3>, <b1>} is state B in the model.
+  EXPECT_EQ(Controller.currentState(),
+            Policy.resolve(makeTuple(1, 1, {{2, 3}})));
+}
+
+TEST(GuideControllerTest, UnknownTupleResetsToUnknown) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideController Controller(Policy, GuideConfig{});
+
+  Controller.onCommit(CommitEvent{9, 9, 1, 0});
+  EXPECT_EQ(Controller.currentState(), UnknownState);
+  EXPECT_EQ(Controller.stats().UnknownStates, 1u);
+}
+
+TEST(GuideControllerTest, AllowedPairPassesImmediately) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideController Controller(Policy, GuideConfig{});
+  Controller.onCommit(CommitEvent{0, 0, 1, 0}); // current = A
+
+  Timer T;
+  Controller.onTxStart(/*Thread=*/1, /*Tx=*/1); // pair (1,1) is in B
+  EXPECT_LT(T.elapsedSeconds(), 0.05);
+  GuideStats S = Controller.stats();
+  EXPECT_EQ(S.Holds, 0u);
+  EXPECT_EQ(S.GateChecks, 1u);
+}
+
+TEST(GuideControllerTest, DisallowedPairHeldUntilForcedRelease) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideConfig Cfg;
+  Cfg.MaxGateRetries = 5;
+  Cfg.GateSleepMicros = 100;
+  GuideController Controller(Policy, Cfg);
+  Controller.onCommit(CommitEvent{0, 0, 1, 0}); // current = A
+
+  // Pair (3,4) only appears in the rare destination D: must be held and
+  // eventually force-released (the k-retry progress guarantee).
+  Controller.onTxStart(/*Thread=*/4, /*Tx=*/3);
+  GuideStats S = Controller.stats();
+  EXPECT_EQ(S.Holds, 1u);
+  EXPECT_EQ(S.ForcedReleases, 1u);
+}
+
+TEST(GuideControllerTest, HeldThreadReleasedByStateChange) {
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideConfig Cfg;
+  Cfg.MaxGateRetries = 10000; // long enough that release must come from
+                              // the state change, not the k bound
+  Cfg.GateSleepMicros = 100;
+  GuideController Controller(Policy, Cfg);
+  Controller.onCommit(CommitEvent{0, 0, 1, 0}); // current = A
+
+  std::thread Held(
+      [&] { Controller.onTxStart(/*Thread=*/4, /*Tx=*/3); });
+  // Move the system to an unknown state, which admits everyone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Controller.onCommit(CommitEvent{9, 9, 2, 0});
+  Held.join();
+
+  GuideStats S = Controller.stats();
+  EXPECT_EQ(S.Holds, 1u);
+  EXPECT_EQ(S.ForcedReleases, 0u)
+      << "release must come from the state change";
+}
+
+TEST(GuideControllerTest, ForwardsEventsDownstream) {
+  struct Probe : TxEventObserver {
+    int Commits = 0, Aborts = 0;
+    void onCommit(const CommitEvent &) override { ++Commits; }
+    void onAbort(const AbortEvent &) override { ++Aborts; }
+  } Downstream;
+
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideController Controller(Policy, GuideConfig{}, &Downstream);
+  Controller.onAbort(AbortEvent{1, 1, AbortCauseKind::Explicit, 0, 0});
+  Controller.onCommit(CommitEvent{0, 0, 1, 0});
+  EXPECT_EQ(Downstream.Commits, 1);
+  EXPECT_EQ(Downstream.Aborts, 1);
+}

@@ -1,0 +1,183 @@
+//===- tests/replay_test.cpp - deterministic replay tests -------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Replay.h"
+
+#include "core/Trace.h"
+#include "stm/TVar.h"
+#include "stm/Tl2.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+using namespace gstm;
+
+namespace {
+
+/// Small contended workload: each of \p Threads workers increments a
+/// shared counter \p PerThread times at site = its thread id (distinct
+/// sites make schedules thread-specific).
+std::vector<TxThreadPair> runCounter(Tl2Stm &Stm, unsigned Threads,
+                                     unsigned PerThread,
+                                     TVar<uint64_t> &Counter,
+                                     CommitRecorder *Recorder) {
+  if (Recorder)
+    Stm.setObserver(Recorder);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      for (unsigned I = 0; I < PerThread; ++I)
+        Txn.run(static_cast<TxId>(T),
+                [&](Tl2Txn &Tx) { Tx.store(Counter, Tx.load(Counter) + 1); });
+    });
+  for (auto &W : Workers)
+    W.join();
+  return Recorder ? Recorder->takeSchedule() : std::vector<TxThreadPair>{};
+}
+
+} // namespace
+
+TEST(ReplayTest, RecorderCapturesEveryCommitInOrder) {
+  Tl2Stm Stm;
+  TVar<uint64_t> Counter{0};
+  CommitRecorder Recorder;
+  auto Schedule = runCounter(Stm, 4, 50, Counter, &Recorder);
+  EXPECT_EQ(Schedule.size(), 200u);
+  // Each thread contributed exactly PerThread commits at its own site.
+  std::vector<unsigned> PerThread(4, 0);
+  for (TxThreadPair P : Schedule) {
+    EXPECT_EQ(pairTx(P), pairThread(P)) << "site == thread id here";
+    ++PerThread[pairThread(P)];
+  }
+  for (unsigned N : PerThread)
+    EXPECT_EQ(N, 50u);
+}
+
+TEST(ReplayTest, ReplayReproducesCommitOrderExactly) {
+  // Record one run, then replay it: the replayed commit order must match
+  // the schedule with zero divergences.
+  Tl2Config Cfg;
+  Cfg.PreemptShift = 5; // plenty of interleaving in the recording
+  std::vector<TxThreadPair> Schedule;
+  {
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> Counter{0};
+    CommitRecorder Recorder;
+    Schedule = runCounter(Stm, 4, 40, Counter, &Recorder);
+  }
+
+  Tl2Stm Stm(Cfg);
+  TVar<uint64_t> Counter{0};
+  ReplayGate Gate(Schedule);
+  CommitRecorder Check;
+
+  struct Tee : TxEventObserver {
+    TxEventObserver *A, *B;
+    void onCommit(const CommitEvent &E) override {
+      A->onCommit(E);
+      B->onCommit(E);
+    }
+    void onAbort(const AbortEvent &E) override {
+      A->onAbort(E);
+      B->onAbort(E);
+    }
+  } Observer;
+  Observer.A = &Gate;
+  Observer.B = &Check;
+
+  Stm.setGate(&Gate);
+  Stm.setObserver(&Observer);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      for (unsigned I = 0; I < 40; ++I)
+        Txn.run(static_cast<TxId>(T),
+                [&](Tl2Txn &Tx) { Tx.store(Counter, Tx.load(Counter) + 1); });
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Counter.loadDirect(), 160u);
+  EXPECT_EQ(Gate.divergences(), 0u);
+  EXPECT_EQ(Gate.cursor(), Schedule.size());
+  EXPECT_EQ(Check.takeSchedule(), Schedule)
+      << "replay must pin the exact commit order";
+}
+
+TEST(ReplayTest, ReplayedRunIsFullyDeterministicTwice) {
+  Tl2Config Cfg;
+  Cfg.PreemptShift = 5;
+  std::vector<TxThreadPair> Schedule;
+  {
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> Counter{0};
+    CommitRecorder Recorder;
+    Schedule = runCounter(Stm, 3, 30, Counter, &Recorder);
+  }
+
+  auto ReplayOnce = [&] {
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> Counter{0};
+    ReplayGate Gate(Schedule);
+    CommitRecorder Check;
+    struct Tee : TxEventObserver {
+      TxEventObserver *A, *B;
+      void onCommit(const CommitEvent &E) override {
+        A->onCommit(E);
+        B->onCommit(E);
+      }
+      void onAbort(const AbortEvent &E) override {
+        A->onAbort(E);
+        B->onAbort(E);
+      }
+    } Observer;
+    Observer.A = &Gate;
+    Observer.B = &Check;
+    Stm.setGate(&Gate);
+    Stm.setObserver(&Observer);
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < 3; ++T)
+      Workers.emplace_back([&, T] {
+        Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+        for (unsigned I = 0; I < 30; ++I)
+          Txn.run(static_cast<TxId>(T), [&](Tl2Txn &Tx) {
+            Tx.store(Counter, Tx.load(Counter) + 1);
+          });
+      });
+    for (auto &W : Workers)
+      W.join();
+    return Check.takeSchedule();
+  };
+
+  EXPECT_EQ(ReplayOnce(), Schedule);
+  EXPECT_EQ(ReplayOnce(), Schedule)
+      << "two replays of one schedule must be identical";
+}
+
+TEST(ReplayTest, DivergentScheduleStillMakesProgress) {
+  // A nonsense schedule (pairs that never run) must not deadlock: every
+  // start is force-released after MaxGateRetries.
+  std::vector<TxThreadPair> Bogus(50, packPair(99, 63));
+  ReplayConfig Cfg;
+  Cfg.MaxGateRetries = 3;
+  Tl2Stm Stm;
+  TVar<uint64_t> Counter{0};
+  ReplayGate Gate(std::move(Bogus), Cfg);
+  Stm.setGate(&Gate);
+  Stm.setObserver(&Gate);
+
+  Tl2Txn Txn(Stm, 0);
+  for (unsigned I = 0; I < 20; ++I)
+    Txn.run(0, [&](Tl2Txn &Tx) { Tx.store(Counter, Tx.load(Counter) + 1); });
+  EXPECT_EQ(Counter.loadDirect(), 20u);
+  EXPECT_EQ(Gate.divergences(), 20u);
+  EXPECT_EQ(Gate.cursor(), 0u) << "bogus schedule never advances";
+}

@@ -1,0 +1,224 @@
+//===- tests/support_test.cpp - support library unit tests ----------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Barrier.h"
+#include "support/Ids.h"
+#include "support/Options.h"
+#include "support/SplitMix64.h"
+#include "support/Stats.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+using namespace gstm;
+
+TEST(SplitMix64Test, DeterministicFromSeed) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0);
+}
+
+TEST(SplitMix64Test, BoundedStaysInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBounded(13), 13u);
+}
+
+TEST(SplitMix64Test, BoundedCoversRange) {
+  SplitMix64 Rng(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(Rng.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(SplitMix64Test, DoubleInUnitInterval) {
+  SplitMix64 Rng(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, SplitProducesIndependentStream) {
+  SplitMix64 A(5);
+  SplitMix64 B = A.split();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(IdsTest, PackUnpackRoundTrip) {
+  for (TxId Tx : {TxId{0}, TxId{1}, TxId{255}, TxId{65535}})
+    for (ThreadId T : {ThreadId{0}, ThreadId{7}, ThreadId{65535}}) {
+      TxThreadPair P = packPair(Tx, T);
+      EXPECT_EQ(pairTx(P), Tx);
+      EXPECT_EQ(pairThread(P), T);
+    }
+}
+
+TEST(IdsTest, DistinctPairsDistinctPacking) {
+  EXPECT_NE(packPair(1, 2), packPair(2, 1));
+  EXPECT_NE(packPair(0, 1), packPair(1, 0));
+}
+
+TEST(RunningStatTest, MeanAndStddev) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  // Sample stddev of this classic data set is sqrt(32/7).
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 9.0);
+}
+
+TEST(RunningStatTest, DegenerateCases) {
+  RunningStat S;
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  S.add(3.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+  EXPECT_EQ(S.count(), 1u);
+}
+
+TEST(AbortHistogramTest, TailMetricSquaresDistinctCounts) {
+  AbortHistogram H;
+  H.add(0);
+  H.add(0);
+  H.add(3);
+  H.add(5);
+  // Distinct abort counts are {0, 3, 5}: 0 + 9 + 25.
+  EXPECT_DOUBLE_EQ(H.tailMetric(), 34.0);
+  EXPECT_EQ(H.maxAborts(), 5u);
+  EXPECT_EQ(H.totalCommits(), 4u);
+  EXPECT_EQ(H.totalAborts(), 8u);
+  EXPECT_EQ(H.frequency(0), 2u);
+  EXPECT_EQ(H.frequency(1), 0u);
+}
+
+TEST(AbortHistogramTest, MergeAddsFrequencies) {
+  AbortHistogram A, B;
+  A.add(1);
+  B.add(1);
+  B.add(2);
+  A.merge(B);
+  EXPECT_EQ(A.frequency(1), 2u);
+  EXPECT_EQ(A.frequency(2), 1u);
+  EXPECT_EQ(A.totalCommits(), 3u);
+}
+
+TEST(RunningStatTest, TrimmedStddevDropsOutliers) {
+  RunningStat S;
+  for (double X : {10.0, 10.1, 9.9, 10.05, 9.95, 10.02, 9.98, 10.0,
+                   10.03, 9.97, 10.01, 9.99, 10.0, 10.0, 10.0, 10.0,
+                   10.0, 10.0, 10.0, 500.0}) // one host-noise spike
+    S.add(X);
+  EXPECT_GT(S.stddev(), 50.0) << "raw stddev is spike-dominated";
+  EXPECT_LT(S.trimmedStddev(0.05), 0.1)
+      << "trimming 5% per side removes the spike";
+}
+
+TEST(RunningStatTest, TrimmedStddevFallsBackOnSmallSamples) {
+  RunningStat S;
+  S.add(1.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.trimmedStddev(0.05), S.stddev());
+}
+
+TEST(StatsTest, PercentImprovement) {
+  EXPECT_DOUBLE_EQ(percentImprovement(10.0, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentImprovement(10.0, 12.0), -20.0);
+  EXPECT_DOUBLE_EQ(percentImprovement(0.0, 5.0), 0.0);
+}
+
+TEST(OptionsTest, ParsesKeyValueAndFlags) {
+  const char *Argv[] = {"prog", "--runs=5", "--size=medium", "--verbose",
+                        "positional"};
+  Options Opts = Options::parse(5, Argv);
+  EXPECT_EQ(Opts.getInt("runs", 0), 5);
+  EXPECT_EQ(Opts.getString("size", ""), "medium");
+  EXPECT_TRUE(Opts.getBool("verbose", false));
+  EXPECT_FALSE(Opts.has("positional"));
+  EXPECT_EQ(Opts.getInt("missing", 42), 42);
+}
+
+TEST(OptionsTest, MalformedNumbersFallBack) {
+  const char *Argv[] = {"prog", "--runs=abc", "--t=1.5x"};
+  Options Opts = Options::parse(3, Argv);
+  EXPECT_EQ(Opts.getInt("runs", 9), 9);
+  EXPECT_EQ(Opts.getDouble("t", 2.5), 2.5);
+}
+
+TEST(OptionsTest, BoolFalseSpellings) {
+  const char *Argv[] = {"prog", "--a=0", "--b=false", "--c=true"};
+  Options Opts = Options::parse(4, Argv);
+  EXPECT_FALSE(Opts.getBool("a", true));
+  EXPECT_FALSE(Opts.getBool("b", true));
+  EXPECT_TRUE(Opts.getBool("c", false));
+}
+
+TEST(BarrierTest, SynchronizesPhases) {
+  constexpr unsigned N = 4;
+  Barrier B(N);
+  std::atomic<int> Phase0{0}, Phase1{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < N; ++T)
+    Threads.emplace_back([&] {
+      Phase0.fetch_add(1);
+      B.arriveAndWait();
+      // Everyone must have finished phase 0 before any phase 1 work.
+      EXPECT_EQ(Phase0.load(), static_cast<int>(N));
+      Phase1.fetch_add(1);
+      B.arriveAndWait();
+      EXPECT_EQ(Phase1.load(), static_cast<int>(N));
+    });
+  for (auto &T : Threads)
+    T.join();
+}
+
+TEST(BarrierTest, ReusableManyRounds) {
+  constexpr unsigned N = 3;
+  Barrier B(N);
+  std::atomic<int> Counter{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < N; ++T)
+    Threads.emplace_back([&] {
+      for (int Round = 0; Round < 50; ++Round) {
+        Counter.fetch_add(1);
+        B.arriveAndWait();
+        EXPECT_EQ(Counter.load() % (N), 0u);
+        B.arriveAndWait();
+      }
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(Counter.load(), static_cast<int>(N * 50));
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer T;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  double Elapsed = T.elapsedSeconds();
+  EXPECT_GE(Elapsed, 0.005);
+  EXPECT_LT(Elapsed, 5.0);
+  T.reset();
+  EXPECT_LT(T.elapsedSeconds(), 0.5);
+}

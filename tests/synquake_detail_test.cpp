@@ -1,0 +1,111 @@
+//===- tests/synquake_detail_test.cpp - game substrate detail tests ---------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "synquake/Experiment.h"
+#include "synquake/Game.h"
+
+#include <gtest/gtest.h>
+
+using namespace gstm;
+
+namespace {
+SynQuakeParams tinyParams(QuestPattern Quest = QuestPattern::WorstCase4) {
+  SynQuakeParams P;
+  P.NumPlayers = 32;
+  P.Frames = 8;
+  P.Quest = Quest;
+  P.PhysicsIterations = 64;
+  return P;
+}
+} // namespace
+
+TEST(SynQuakeDetailTest, SetupPlacesEveryPlayerOnTheGrid) {
+  LibTm Tm;
+  SynQuakeGame Game(tinyParams());
+  Game.setup(Tm, 2, 5);
+  EXPECT_TRUE(Game.verify()) << "fresh world must satisfy conservation";
+}
+
+TEST(SynQuakeDetailTest, ScoresOnlyGrowAndMatchResources) {
+  LibTm Tm;
+  SynQuakeParams P = tinyParams();
+  P.Frames = 24;
+  SynQuakeGame Game(P);
+  Game.setup(Tm, 2, 5);
+  Game.run(Tm, 2);
+  EXPECT_TRUE(Game.verify());
+  // WorstCase4 pulls everyone to the center: scoring must happen.
+  EXPECT_GT(Game.totalScoreDirect(), 0u);
+}
+
+TEST(SynQuakeDetailTest, SameSeedSameSetupAcrossInstances) {
+  LibTm Tm1, Tm2;
+  SynQuakeGame A(tinyParams()), B(tinyParams());
+  A.setup(Tm1, 1, 9);
+  B.setup(Tm2, 1, 9);
+  // Identical seeds produce identical worlds; a single-threaded run of
+  // each must produce identical scores (full determinism at 1 thread).
+  A.run(Tm1, 1);
+  B.run(Tm2, 1);
+  EXPECT_EQ(A.totalScoreDirect(), B.totalScoreDirect());
+}
+
+TEST(SynQuakeDetailTest, MovingQuestChangesTargetAcrossFrames) {
+  // The 4moving quest orbits: players chase it, so after many frames the
+  // population cannot all be parked in one cell (unlike 4worst_case).
+  LibTm TmA, TmB;
+  SynQuakeParams Worst = tinyParams(QuestPattern::WorstCase4);
+  SynQuakeParams Moving = tinyParams(QuestPattern::Moving4);
+  Worst.Frames = Moving.Frames = 48;
+  SynQuakeGame A(Worst), B(Moving);
+  A.setup(TmA, 2, 3);
+  B.setup(TmB, 2, 3);
+  A.run(TmA, 2);
+  B.run(TmB, 2);
+  EXPECT_TRUE(A.verify());
+  EXPECT_TRUE(B.verify());
+}
+
+TEST(SynQuakeDetailTest, CenterSpreadTargetsAreDeterministicPerPlayer) {
+  // Two runs with the same player population: the spread offsets are a
+  // pure function of the player id, so single-threaded runs coincide.
+  LibTm Tm1, Tm2;
+  SynQuakeGame A(tinyParams(QuestPattern::CenterSpread6));
+  SynQuakeGame B(tinyParams(QuestPattern::CenterSpread6));
+  A.setup(Tm1, 1, 21);
+  B.setup(Tm2, 1, 21);
+  A.run(Tm1, 1);
+  B.run(Tm2, 1);
+  EXPECT_EQ(A.totalScoreDirect(), B.totalScoreDirect());
+}
+
+TEST(SynQuakeDetailTest, ExperimentHonorsThreadAndRunCounts) {
+  SynQuakeExperimentConfig Cfg;
+  Cfg.Threads = 2;
+  Cfg.Game = tinyParams(QuestPattern::Quadrants4);
+  Cfg.TrainFrames = 8;
+  Cfg.ProfileRunsPerQuest = 1;
+  Cfg.MeasureRuns = 3;
+  SynQuakeExperimentResult R = runSynQuakeExperiment(Cfg);
+  EXPECT_EQ(R.Default.FrameStddev.count(), 3u);
+  EXPECT_EQ(R.Guided.FrameStddev.count(), 3u);
+  EXPECT_TRUE(R.Default.AllVerified);
+  EXPECT_TRUE(R.Guided.AllVerified);
+  EXPECT_GT(R.Model.numStates(), 0u);
+}
+
+TEST(SynQuakeDetailTest, FrameTimesArePositiveAndOrdered) {
+  LibTm Tm;
+  SynQuakeGame Game(tinyParams());
+  Game.setup(Tm, 2, 7);
+  std::vector<double> Frames = Game.run(Tm, 2);
+  ASSERT_EQ(Frames.size(), 8u);
+  for (double F : Frames) {
+    EXPECT_GT(F, 0.0);
+    EXPECT_LT(F, 5.0) << "a tiny frame cannot take seconds";
+  }
+}

@@ -1,0 +1,338 @@
+//===- tests/tl2_test.cpp - TL2 STM semantics tests ------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tl2.h"
+
+#include "stm/TVar.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace gstm;
+
+TEST(LockTableTest, EncodeDecodeVersion) {
+  for (uint64_t V : {uint64_t{0}, uint64_t{1}, uint64_t{123456789},
+                     (uint64_t{1} << 62) - 1}) {
+    StripeState S = LockTable::decode(LockTable::encodeVersion(V));
+    EXPECT_FALSE(S.Locked);
+    EXPECT_EQ(S.Version, V);
+  }
+}
+
+TEST(LockTableTest, EncodeDecodeLocked) {
+  TxThreadPair P = packPair(12, 7);
+  StripeState S = LockTable::decode(LockTable::encodeLocked(P));
+  EXPECT_TRUE(S.Locked);
+  EXPECT_EQ(S.Owner, P);
+}
+
+TEST(LockTableTest, IndexStableAndInRange) {
+  LockTable T(10);
+  int X[16];
+  for (int &V : X) {
+    size_t I = T.indexFor(&V);
+    EXPECT_LT(I, T.size());
+    EXPECT_EQ(I, T.indexFor(&V));
+  }
+}
+
+TEST(CommitRingTest, RecordAndLookup) {
+  CommitRing Ring(4);
+  Ring.record(100, packPair(3, 1));
+  TxThreadPair P = 0;
+  ASSERT_TRUE(Ring.lookup(100, P));
+  EXPECT_EQ(pairTx(P), 3);
+  EXPECT_EQ(pairThread(P), 1);
+}
+
+TEST(CommitRingTest, OverwrittenEntryMisses) {
+  CommitRing Ring(2); // 4 slots
+  Ring.record(1, packPair(1, 1));
+  Ring.record(5, packPair(2, 2)); // same slot as version 1
+  TxThreadPair P = 0;
+  EXPECT_FALSE(Ring.lookup(1, P));
+  EXPECT_TRUE(Ring.lookup(5, P));
+}
+
+TEST(Tl2Test, SingleThreadReadWrite) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{5};
+  Tl2Txn Txn(Stm, 0);
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    EXPECT_EQ(Tx.load(X), 5u);
+    Tx.store(X, 9);
+    EXPECT_EQ(Tx.load(X), 9u) << "read-after-write must see the buffer";
+  });
+  EXPECT_EQ(X.loadDirect(), 9u);
+  EXPECT_EQ(Stm.stats().Commits.load(), 1u);
+  EXPECT_EQ(Stm.stats().Aborts.load(), 0u);
+}
+
+TEST(Tl2Test, AbortedWritesNeverVisible) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{1};
+  Tl2Txn Txn(Stm, 0);
+  int Attempts = 0;
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    Tx.store(X, 99);
+    if (++Attempts == 1)
+      Tx.retryAbort();
+  });
+  EXPECT_EQ(Attempts, 2);
+  EXPECT_EQ(X.loadDirect(), 99u);
+  EXPECT_EQ(Stm.stats().Aborts.load(), 1u);
+}
+
+TEST(Tl2Test, TypedVarsRoundTrip) {
+  Tl2Stm Stm;
+  TVar<double> D{1.5};
+  TVar<int32_t> I{-7};
+  TVar<float> F{2.25f};
+  Tl2Txn Txn(Stm, 0);
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    Tx.store(D, Tx.load(D) * 2.0);
+    Tx.store(I, Tx.load(I) - 1);
+    Tx.store(F, Tx.load(F) + 0.5f);
+  });
+  EXPECT_DOUBLE_EQ(D.loadDirect(), 3.0);
+  EXPECT_EQ(I.loadDirect(), -8);
+  EXPECT_FLOAT_EQ(F.loadDirect(), 2.75f);
+}
+
+TEST(Tl2Test, ReadOnlyTransactionCommitsWithVersionZero) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{3};
+
+  struct Probe : TxEventObserver {
+    uint64_t LastVersion = 1;
+    void onCommit(const CommitEvent &E) override { LastVersion = E.Version; }
+    void onAbort(const AbortEvent &) override {}
+  } Obs;
+  Stm.setObserver(&Obs);
+
+  Tl2Txn Txn(Stm, 0);
+  uint64_t Seen = 0;
+  Txn.run(0, [&](Tl2Txn &Tx) { Seen = Tx.load(X); });
+  EXPECT_EQ(Seen, 3u);
+  EXPECT_EQ(Obs.LastVersion, 0u);
+}
+
+TEST(Tl2Test, WriteSetDedupesSameLocation) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0};
+  Tl2Txn Txn(Stm, 0);
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    for (uint64_t I = 1; I <= 100; ++I)
+      Tx.store(X, I);
+    EXPECT_EQ(Tx.writeSetSize(), 1u);
+  });
+  EXPECT_EQ(X.loadDirect(), 100u);
+}
+
+TEST(Tl2Test, ClockAdvancesPerWriterCommit) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0};
+  Tl2Txn Txn(Stm, 0);
+  uint64_t Before = Stm.clock().sample();
+  for (int I = 0; I < 5; ++I)
+    Txn.run(0, [&](Tl2Txn &Tx) { Tx.store(X, Tx.load(X) + 1); });
+  EXPECT_EQ(Stm.clock().sample(), Before + 5);
+}
+
+TEST(Tl2Test, ConcurrentCountersLoseNoUpdates) {
+  Tl2Stm Stm;
+  TVar<uint64_t> Counter{0};
+  constexpr unsigned Threads = 8;
+  constexpr unsigned PerThread = 200;
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      for (unsigned I = 0; I < PerThread; ++I)
+        Txn.run(0, [&](Tl2Txn &Tx) {
+          Tx.store(Counter, Tx.load(Counter) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter.loadDirect(), uint64_t{Threads} * PerThread);
+  EXPECT_EQ(Stm.stats().Commits.load(), uint64_t{Threads} * PerThread);
+}
+
+TEST(Tl2Test, BankTransferConservesTotal) {
+  // Classic serializability check: random transfers keep the total.
+  Tl2Stm Stm;
+  constexpr unsigned NumAccounts = 32;
+  constexpr unsigned Threads = 6;
+  constexpr unsigned Transfers = 300;
+  std::vector<std::unique_ptr<TVar<int64_t>>> Accounts;
+  for (unsigned I = 0; I < NumAccounts; ++I)
+    Accounts.push_back(std::make_unique<TVar<int64_t>>(1000));
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      SplitMix64 Rng(T + 1);
+      for (unsigned I = 0; I < Transfers; ++I) {
+        unsigned From = Rng.nextBounded(NumAccounts);
+        unsigned To = Rng.nextBounded(NumAccounts);
+        int64_t Amount = static_cast<int64_t>(Rng.nextBounded(50));
+        Txn.run(0, [&](Tl2Txn &Tx) {
+          Tx.store(*Accounts[From], Tx.load(*Accounts[From]) - Amount);
+          Tx.store(*Accounts[To], Tx.load(*Accounts[To]) + Amount);
+        });
+      }
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  int64_t Total = 0;
+  for (auto &A : Accounts)
+    Total += A->loadDirect();
+  EXPECT_EQ(Total, int64_t{NumAccounts} * 1000);
+}
+
+TEST(Tl2Test, SnapshotIsolationNeverSeesTornPairs) {
+  // Writers keep X == Y; readers must never observe X != Y.
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0}, Y{0};
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Violations{0};
+
+  std::thread Writer([&] {
+    Tl2Txn Txn(Stm, 0);
+    for (unsigned I = 1; I <= 400; ++I)
+      Txn.run(0, [&](Tl2Txn &Tx) {
+        Tx.store(X, I);
+        Tx.store(Y, I);
+      });
+    Stop.store(true);
+  });
+  std::thread Reader([&] {
+    Tl2Txn Txn(Stm, 1);
+    while (!Stop.load()) {
+      uint64_t A = 0, B = 0;
+      Txn.run(1, [&](Tl2Txn &Tx) {
+        A = Tx.load(X);
+        B = Tx.load(Y);
+      });
+      if (A != B)
+        Violations.fetch_add(1);
+    }
+  });
+  Writer.join();
+  Reader.join();
+  EXPECT_EQ(Violations.load(), 0u);
+  EXPECT_EQ(X.loadDirect(), 400u);
+}
+
+TEST(Tl2Test, AbortEventsCarryCausalAttribution) {
+  // Force a conflict and check that the victim's abort names the
+  // committer.
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0};
+
+  struct Probe : TxEventObserver {
+    std::atomic<uint64_t> KnownCause{0};
+    std::atomic<uint64_t> TotalAborts{0};
+    void onCommit(const CommitEvent &) override {}
+    void onAbort(const AbortEvent &E) override {
+      TotalAborts.fetch_add(1);
+      if (E.Kind == AbortCauseKind::KnownCommitter)
+        KnownCause.fetch_add(1);
+    }
+  } Obs;
+  Stm.setObserver(&Obs);
+
+  constexpr unsigned Threads = 8;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      for (unsigned I = 0; I < 300; ++I)
+        Txn.run(0, [&](Tl2Txn &Tx) {
+          Tx.store(X, Tx.load(X) + 1);
+        });
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  EXPECT_EQ(X.loadDirect(), 8u * 300u);
+  if (Obs.TotalAborts.load() > 0) {
+    // Nearly all aborts should resolve their cause through the lock
+    // owner or the commit ring.
+    EXPECT_GT(Obs.KnownCause.load() * 10, Obs.TotalAborts.load() * 9)
+        << "known causes: " << Obs.KnownCause.load() << " of "
+        << Obs.TotalAborts.load();
+  }
+}
+
+TEST(Tl2Test, GateInvokedOncePerAttempt) {
+  Tl2Stm Stm;
+  TVar<uint64_t> X{0};
+
+  struct CountingGate : StartGate {
+    std::atomic<uint64_t> Calls{0};
+    void onTxStart(ThreadId, TxId) override { Calls.fetch_add(1); }
+  } Gate;
+  Stm.setGate(&Gate);
+
+  Tl2Txn Txn(Stm, 0);
+  int Attempts = 0;
+  Txn.run(3, [&](Tl2Txn &Tx) {
+    Tx.store(X, 1);
+    if (++Attempts < 3)
+      Tx.retryAbort();
+  });
+  EXPECT_EQ(Gate.Calls.load(), 3u);
+}
+
+TEST(Tl2Test, LargeReadAndWriteSets) {
+  Tl2Stm Stm;
+  constexpr unsigned N = 512;
+  std::vector<std::unique_ptr<TVar<uint64_t>>> Vars;
+  for (unsigned I = 0; I < N; ++I)
+    Vars.push_back(std::make_unique<TVar<uint64_t>>(I));
+
+  Tl2Txn Txn(Stm, 0);
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    uint64_t Sum = 0;
+    for (auto &V : Vars)
+      Sum += Tx.load(*V);
+    for (auto &V : Vars)
+      Tx.store(*V, Sum);
+  });
+  for (auto &V : Vars)
+    EXPECT_EQ(V->loadDirect(), uint64_t{N} * (N - 1) / 2);
+}
+
+TEST(Tl2Test, BackoffModesAllMakeProgress) {
+  for (BackoffKind Kind :
+       {BackoffKind::None, BackoffKind::Yield, BackoffKind::Exponential}) {
+    Tl2Config Cfg;
+    Cfg.Backoff = Kind;
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> X{0};
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < 4; ++T)
+      Workers.emplace_back([&, T] {
+        Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+        for (unsigned I = 0; I < 100; ++I)
+          Txn.run(0,
+                  [&](Tl2Txn &Tx) { Tx.store(X, Tx.load(X) + 1); });
+      });
+    for (auto &W : Workers)
+      W.join();
+    EXPECT_EQ(X.loadDirect(), 400u);
+  }
+}

@@ -1,0 +1,152 @@
+//===- tests/workloads_test.cpp - STAMP workload correctness tests ---------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Every STAMP port must pass its own verify() — the workload-specific
+// conservation/consistency invariant — under several thread counts and
+// seeds. The parameterized sweep is the property-test backbone of the
+// suite: any lost transactional update, torn structure or double-pop
+// breaks a verify().
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+#include "stamp/Kmeans.h"
+#include "stamp/Labyrinth.h"
+#include "stamp/Registry.h"
+#include "stamp/Ssca2.h"
+#include "stamp/Yada.h"
+
+#include <gtest/gtest.h>
+
+using namespace gstm;
+
+namespace {
+
+struct SweepParam {
+  std::string Workload;
+  unsigned Threads;
+  uint64_t Seed;
+};
+
+std::string paramName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  return Info.param.Workload + "_t" + std::to_string(Info.param.Threads) +
+         "_s" + std::to_string(Info.param.Seed);
+}
+
+class WorkloadSweep : public ::testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+TEST_P(WorkloadSweep, RunsAndVerifies) {
+  const SweepParam &P = GetParam();
+  auto Workload = createStampWorkload(P.Workload, SizeClass::Small);
+  ASSERT_NE(Workload, nullptr);
+
+  RunnerConfig Cfg;
+  Cfg.Threads = P.Threads;
+  RunResult R = runWorkloadOnce(*Workload, Cfg, P.Seed, nullptr);
+
+  EXPECT_TRUE(R.Verified) << P.Workload << " failed its invariant check";
+  EXPECT_GT(R.Commits, 0u);
+  EXPECT_EQ(R.ThreadSeconds.size(), P.Threads);
+  // Every commit appears in the tuple sequence.
+  EXPECT_EQ(R.Tuples.size(), R.Commits);
+}
+
+static std::vector<SweepParam> makeSweep() {
+  std::vector<SweepParam> Params;
+  for (const std::string &Name : stampWorkloadNames())
+    for (unsigned Threads : {1u, 2u, 4u, 8u})
+      for (uint64_t Seed : {11u, 29u})
+        Params.push_back(SweepParam{Name, Threads, Seed});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::ValuesIn(makeSweep()), paramName);
+
+TEST(RegistryTest, KnowsSevenWorkloads) {
+  EXPECT_EQ(stampWorkloadNames().size(), 7u);
+  for (const std::string &Name : stampWorkloadNames()) {
+    auto W = createStampWorkload(Name, SizeClass::Small);
+    ASSERT_NE(W, nullptr);
+    EXPECT_EQ(W->name(), Name);
+    EXPECT_GE(W->numTxSites(), 1u);
+  }
+  EXPECT_EQ(createStampWorkload("bayes", SizeClass::Small), nullptr)
+      << "bayes is excluded, as in the paper";
+}
+
+TEST(KmeansTest, AccumulatesEveryPointEachRound) {
+  KmeansParams P = KmeansParams::forSize(SizeClass::Small);
+  KmeansWorkload W(P);
+  RunnerConfig Cfg;
+  Cfg.Threads = 4;
+  RunResult R = runWorkloadOnce(W, Cfg, 5, nullptr);
+  EXPECT_TRUE(R.Verified);
+  // One transaction per point per round.
+  EXPECT_EQ(R.Commits, uint64_t{P.NumPoints} * P.Rounds);
+}
+
+TEST(Ssca2Test, EveryEdgeInserted) {
+  Ssca2Params P = Ssca2Params::forSize(SizeClass::Small);
+  Ssca2Workload W(P);
+  RunnerConfig Cfg;
+  Cfg.Threads = 4;
+  RunResult R = runWorkloadOnce(W, Cfg, 5, nullptr);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_EQ(R.Commits, P.NumEdges);
+}
+
+TEST(Ssca2Test, NearZeroAbortsAtScale) {
+  // The property the paper's analyzer exploits: ssca2 barely conflicts.
+  Ssca2Params P = Ssca2Params::forSize(SizeClass::Medium);
+  Ssca2Workload W(P);
+  RunnerConfig Cfg;
+  Cfg.Threads = 8;
+  RunResult R = runWorkloadOnce(W, Cfg, 7, nullptr);
+  EXPECT_TRUE(R.Verified);
+  EXPECT_LT(R.Aborts, R.Commits / 10)
+      << "ssca2 must be nearly conflict-free";
+}
+
+TEST(LabyrinthTest, RoutesDoNotOverlap) {
+  LabyrinthParams P = LabyrinthParams::forSize(SizeClass::Small);
+  LabyrinthWorkload W(P);
+  RunnerConfig Cfg;
+  Cfg.Threads = 4;
+  RunResult R = runWorkloadOnce(W, Cfg, 3, nullptr);
+  EXPECT_TRUE(R.Verified);
+  // Random endpoints land on earlier paths, so not every request routes,
+  // but a healthy fraction must.
+  EXPECT_GE(W.routedCount(), size_t{P.NumPaths} / 4);
+}
+
+TEST(YadaTest, RefinementConservesAreaAndAdjacency) {
+  YadaParams P = YadaParams::forSize(SizeClass::Small);
+  YadaWorkload W(P);
+  RunnerConfig Cfg;
+  Cfg.Threads = 4;
+  RunResult R = runWorkloadOnce(W, Cfg, 3, nullptr);
+  EXPECT_TRUE(R.Verified);
+  // Refinement must actually have split something.
+  EXPECT_GT(W.aliveCountDirect(), size_t{2} * P.Grid * P.Grid);
+}
+
+TEST(WorkloadDeterminism, SameSeedSameInputShape) {
+  // Two default runs with the same seed must do the same logical work
+  // (same commit count) even though interleavings differ.
+  for (const char *Name : {"kmeans", "ssca2", "intruder"}) {
+    auto W1 = createStampWorkload(Name, SizeClass::Small);
+    auto W2 = createStampWorkload(Name, SizeClass::Small);
+    RunnerConfig Cfg;
+    Cfg.Threads = 2;
+    RunResult R1 = runWorkloadOnce(*W1, Cfg, 42, nullptr);
+    RunResult R2 = runWorkloadOnce(*W2, Cfg, 42, nullptr);
+    EXPECT_EQ(R1.Commits, R2.Commits) << Name;
+  }
+}

@@ -1,0 +1,108 @@
+//===- tools/model_inspect.cpp - TSA model file inspector -------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Inspects serialized thread-state-automaton models (the analogue of the
+// paper artifact's `state_data` files):
+//
+//   model_inspect --model=FILE [--tfactor=4] [--top=10]
+//   model_inspect --model=FILE --diff=OTHER
+//
+// Prints the state census, the analyzer verdict, the hottest states in
+// the paper's notation with their high-probability destinations, and —
+// with --diff — the state overlap between two models (useful for judging
+// how well training inputs cover testing behaviour).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Analyzer.h"
+#include "core/Tsa.h"
+#include "support/Options.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+using namespace gstm;
+
+static int inspect(const Tsa &Model, double Tfactor, unsigned Top) {
+  AnalyzerConfig AC;
+  AC.Tfactor = Tfactor;
+  AnalyzerReport Report = analyzeModel(Model, AC);
+
+  std::printf("states:           %zu\n", Model.numStates());
+  std::printf("transitions:      %lu\n", Model.numTransitions());
+  std::printf("approx size:      %zu bytes\n", Model.approxSizeBytes());
+  std::printf("guidance metric:  %.1f%% (Tfactor %.1f) -> %s\n",
+              Report.GuidanceMetricPercent, Tfactor,
+              Report.Optimizable ? "guidable" : "not worth guiding");
+  std::printf("mean out-degree:  %.2f (guided: %.2f)\n\n",
+              Report.MeanOutDegree, Report.MeanGuidedOutDegree);
+
+  std::vector<std::pair<uint64_t, StateId>> ByTraffic;
+  for (StateId S = 0; S < Model.numStates(); ++S)
+    ByTraffic.push_back({Model.outFrequency(S), S});
+  std::sort(ByTraffic.rbegin(), ByTraffic.rend());
+
+  std::printf("top %u states by outbound traffic:\n", Top);
+  for (unsigned I = 0; I < Top && I < ByTraffic.size(); ++I) {
+    StateId S = ByTraffic[I].second;
+    std::printf("  %-28s seen %lu\n", Model.state(S).format().c_str(),
+                ByTraffic[I].first);
+    for (const TsaEdge &E : highProbabilitySuccessors(Model, S, Tfactor))
+      std::printf("      -%.3f-> %s\n", E.Probability,
+                  Model.state(E.Dest).format().c_str());
+  }
+  return 0;
+}
+
+static int diff(const Tsa &A, const Tsa &B) {
+  size_t Shared = 0;
+  for (StateId S = 0; S < A.numStates(); ++S)
+    if (B.lookup(A.state(S)))
+      ++Shared;
+  std::printf("model A: %zu states\n", A.numStates());
+  std::printf("model B: %zu states\n", B.numStates());
+  std::printf("shared:  %zu (%.1f%% of A, %.1f%% of B)\n", Shared,
+              A.numStates() ? 100.0 * Shared / A.numStates() : 0.0,
+              B.numStates() ? 100.0 * Shared / B.numStates() : 0.0);
+  std::printf("\nA guided execution driven by model A would treat %.1f%% "
+              "of B's states as unknown\n(unknown states pass threads "
+              "through unguided).\n",
+              B.numStates()
+                  ? 100.0 * (B.numStates() - Shared) / B.numStates()
+                  : 0.0);
+  return 0;
+}
+
+int main(int Argc, char **Argv) {
+  Options Opts = Options::parse(Argc, Argv);
+  std::string Path = Opts.getString("model", "");
+  if (Path.empty()) {
+    std::fprintf(stderr,
+                 "usage: model_inspect --model=FILE [--tfactor=4] "
+                 "[--top=10] [--diff=OTHER]\n");
+    return 1;
+  }
+  auto Model = Tsa::load(Path);
+  if (!Model) {
+    std::fprintf(stderr, "error: cannot load model '%s'\n", Path.c_str());
+    return 1;
+  }
+
+  std::string Other = Opts.getString("diff", "");
+  if (!Other.empty()) {
+    auto OtherModel = Tsa::load(Other);
+    if (!OtherModel) {
+      std::fprintf(stderr, "error: cannot load model '%s'\n",
+                   Other.c_str());
+      return 1;
+    }
+    return diff(*Model, *OtherModel);
+  }
+  return inspect(*Model, Opts.getDouble("tfactor", 4.0),
+                 static_cast<unsigned>(Opts.getInt("top", 10)));
+}
