@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tfactor.dir/ablation_tfactor.cpp.o"
+  "CMakeFiles/ablation_tfactor.dir/ablation_tfactor.cpp.o.d"
+  "ablation_tfactor"
+  "ablation_tfactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tfactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_synquake_quadrants.dir/fig11_synquake_quadrants.cpp.o"
+  "CMakeFiles/fig11_synquake_quadrants.dir/fig11_synquake_quadrants.cpp.o.d"
+  "fig11_synquake_quadrants"
+  "fig11_synquake_quadrants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_synquake_quadrants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_synquake_spread.dir/fig12_synquake_spread.cpp.o"
+  "CMakeFiles/fig12_synquake_spread.dir/fig12_synquake_spread.cpp.o.d"
+  "fig12_synquake_spread"
+  "fig12_synquake_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_synquake_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kmeans_states.dir/fig3_kmeans_states.cpp.o"
+  "CMakeFiles/fig3_kmeans_states.dir/fig3_kmeans_states.cpp.o.d"
+  "fig3_kmeans_states"
+  "fig3_kmeans_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kmeans_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_kmeans_states.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_variance_8t.dir/fig4_variance_8t.cpp.o"
+  "CMakeFiles/fig4_variance_8t.dir/fig4_variance_8t.cpp.o.d"
+  "fig4_variance_8t"
+  "fig4_variance_8t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_variance_8t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

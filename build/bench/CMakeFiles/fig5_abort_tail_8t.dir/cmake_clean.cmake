@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_abort_tail_8t.dir/fig5_abort_tail_8t.cpp.o"
+  "CMakeFiles/fig5_abort_tail_8t.dir/fig5_abort_tail_8t.cpp.o.d"
+  "fig5_abort_tail_8t"
+  "fig5_abort_tail_8t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_abort_tail_8t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

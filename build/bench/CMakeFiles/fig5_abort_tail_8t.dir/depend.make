@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_abort_tail_8t.
+# This may be replaced when dependencies are built.

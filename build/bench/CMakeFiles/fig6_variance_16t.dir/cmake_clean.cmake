@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_variance_16t.dir/fig6_variance_16t.cpp.o"
+  "CMakeFiles/fig6_variance_16t.dir/fig6_variance_16t.cpp.o.d"
+  "fig6_variance_16t"
+  "fig6_variance_16t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_variance_16t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

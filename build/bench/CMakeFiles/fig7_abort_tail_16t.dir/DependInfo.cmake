@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_abort_tail_16t.cpp" "bench/CMakeFiles/fig7_abort_tail_16t.dir/fig7_abort_tail_16t.cpp.o" "gcc" "bench/CMakeFiles/fig7_abort_tail_16t.dir/fig7_abort_tail_16t.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gstm_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/synquake/CMakeFiles/gstm_synquake.dir/DependInfo.cmake"
+  "/root/repo/build/src/libtm/CMakeFiles/gstm_libtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stamp/CMakeFiles/gstm_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gstm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gstm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gstm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

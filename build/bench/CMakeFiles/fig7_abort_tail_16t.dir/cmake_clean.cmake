@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_abort_tail_16t.dir/fig7_abort_tail_16t.cpp.o"
+  "CMakeFiles/fig7_abort_tail_16t.dir/fig7_abort_tail_16t.cpp.o.d"
+  "fig7_abort_tail_16t"
+  "fig7_abort_tail_16t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_abort_tail_16t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

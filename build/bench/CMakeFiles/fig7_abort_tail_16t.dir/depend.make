@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_abort_tail_16t.
+# This may be replaced when dependencies are built.

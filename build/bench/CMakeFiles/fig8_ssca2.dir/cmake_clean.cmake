@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ssca2.dir/fig8_ssca2.cpp.o"
+  "CMakeFiles/fig8_ssca2.dir/fig8_ssca2.cpp.o.d"
+  "fig8_ssca2"
+  "fig8_ssca2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ssca2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_nondeterminism.dir/fig9_nondeterminism.cpp.o"
+  "CMakeFiles/fig9_nondeterminism.dir/fig9_nondeterminism.cpp.o.d"
+  "fig9_nondeterminism"
+  "fig9_nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

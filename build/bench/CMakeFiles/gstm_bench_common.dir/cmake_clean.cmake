@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_bench_common.dir/Common.cpp.o"
+  "CMakeFiles/gstm_bench_common.dir/Common.cpp.o.d"
+  "libgstm_bench_common.a"
+  "libgstm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_guidance_metric.dir/table1_guidance_metric.cpp.o"
+  "CMakeFiles/table1_guidance_metric.dir/table1_guidance_metric.cpp.o.d"
+  "table1_guidance_metric"
+  "table1_guidance_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_guidance_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_model_states.dir/table3_model_states.cpp.o"
+  "CMakeFiles/table3_model_states.dir/table3_model_states.cpp.o.d"
+  "table3_model_states"
+  "table3_model_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

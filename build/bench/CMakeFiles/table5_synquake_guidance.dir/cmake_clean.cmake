@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_synquake_guidance.dir/table5_synquake_guidance.cpp.o"
+  "CMakeFiles/table5_synquake_guidance.dir/table5_synquake_guidance.cpp.o.d"
+  "table5_synquake_guidance"
+  "table5_synquake_guidance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_synquake_guidance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_server.dir/game_server.cpp.o"
+  "CMakeFiles/game_server.dir/game_server.cpp.o.d"
+  "game_server"
+  "game_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_lab.dir/variance_lab.cpp.o"
+  "CMakeFiles/variance_lab.dir/variance_lab.cpp.o.d"
+  "variance_lab"
+  "variance_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Analyzer.cpp" "src/core/CMakeFiles/gstm_core.dir/Analyzer.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Analyzer.cpp.o.d"
+  "/root/repo/src/core/Experiment.cpp" "src/core/CMakeFiles/gstm_core.dir/Experiment.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Experiment.cpp.o.d"
+  "/root/repo/src/core/GuideController.cpp" "src/core/CMakeFiles/gstm_core.dir/GuideController.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/GuideController.cpp.o.d"
+  "/root/repo/src/core/GuidedPolicy.cpp" "src/core/CMakeFiles/gstm_core.dir/GuidedPolicy.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/GuidedPolicy.cpp.o.d"
+  "/root/repo/src/core/Replay.cpp" "src/core/CMakeFiles/gstm_core.dir/Replay.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Replay.cpp.o.d"
+  "/root/repo/src/core/Runner.cpp" "src/core/CMakeFiles/gstm_core.dir/Runner.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Runner.cpp.o.d"
+  "/root/repo/src/core/Trace.cpp" "src/core/CMakeFiles/gstm_core.dir/Trace.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Trace.cpp.o.d"
+  "/root/repo/src/core/Tsa.cpp" "src/core/CMakeFiles/gstm_core.dir/Tsa.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Tsa.cpp.o.d"
+  "/root/repo/src/core/Tts.cpp" "src/core/CMakeFiles/gstm_core.dir/Tts.cpp.o" "gcc" "src/core/CMakeFiles/gstm_core.dir/Tts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stm/CMakeFiles/gstm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gstm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

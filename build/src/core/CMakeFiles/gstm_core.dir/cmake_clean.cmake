@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_core.dir/Analyzer.cpp.o"
+  "CMakeFiles/gstm_core.dir/Analyzer.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Experiment.cpp.o"
+  "CMakeFiles/gstm_core.dir/Experiment.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/GuideController.cpp.o"
+  "CMakeFiles/gstm_core.dir/GuideController.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/GuidedPolicy.cpp.o"
+  "CMakeFiles/gstm_core.dir/GuidedPolicy.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Replay.cpp.o"
+  "CMakeFiles/gstm_core.dir/Replay.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Runner.cpp.o"
+  "CMakeFiles/gstm_core.dir/Runner.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Trace.cpp.o"
+  "CMakeFiles/gstm_core.dir/Trace.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Tsa.cpp.o"
+  "CMakeFiles/gstm_core.dir/Tsa.cpp.o.d"
+  "CMakeFiles/gstm_core.dir/Tts.cpp.o"
+  "CMakeFiles/gstm_core.dir/Tts.cpp.o.d"
+  "libgstm_core.a"
+  "libgstm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

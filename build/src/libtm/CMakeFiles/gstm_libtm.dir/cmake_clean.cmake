@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_libtm.dir/LibTm.cpp.o"
+  "CMakeFiles/gstm_libtm.dir/LibTm.cpp.o.d"
+  "libgstm_libtm.a"
+  "libgstm_libtm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_libtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gstm_libtm.
+# This may be replaced when dependencies are built.

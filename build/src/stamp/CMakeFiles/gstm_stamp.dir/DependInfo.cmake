@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stamp/Genome.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Genome.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Genome.cpp.o.d"
+  "/root/repo/src/stamp/Intruder.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Intruder.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Intruder.cpp.o.d"
+  "/root/repo/src/stamp/Kmeans.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Kmeans.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Kmeans.cpp.o.d"
+  "/root/repo/src/stamp/Labyrinth.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Labyrinth.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Labyrinth.cpp.o.d"
+  "/root/repo/src/stamp/Registry.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Registry.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Registry.cpp.o.d"
+  "/root/repo/src/stamp/Ssca2.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Ssca2.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Ssca2.cpp.o.d"
+  "/root/repo/src/stamp/TmHashMap.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/TmHashMap.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/TmHashMap.cpp.o.d"
+  "/root/repo/src/stamp/TmList.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/TmList.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/TmList.cpp.o.d"
+  "/root/repo/src/stamp/TmRbTree.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/TmRbTree.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/TmRbTree.cpp.o.d"
+  "/root/repo/src/stamp/Vacation.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Vacation.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Vacation.cpp.o.d"
+  "/root/repo/src/stamp/Yada.cpp" "src/stamp/CMakeFiles/gstm_stamp.dir/Yada.cpp.o" "gcc" "src/stamp/CMakeFiles/gstm_stamp.dir/Yada.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gstm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gstm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gstm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

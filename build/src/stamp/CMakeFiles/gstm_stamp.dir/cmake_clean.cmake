@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_stamp.dir/Genome.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Genome.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Intruder.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Intruder.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Kmeans.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Kmeans.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Labyrinth.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Labyrinth.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Registry.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Registry.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Ssca2.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Ssca2.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/TmHashMap.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/TmHashMap.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/TmList.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/TmList.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/TmRbTree.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/TmRbTree.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Vacation.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Vacation.cpp.o.d"
+  "CMakeFiles/gstm_stamp.dir/Yada.cpp.o"
+  "CMakeFiles/gstm_stamp.dir/Yada.cpp.o.d"
+  "libgstm_stamp.a"
+  "libgstm_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

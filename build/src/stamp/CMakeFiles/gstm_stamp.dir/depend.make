@@ -1,0 +1,2 @@
+# Empty dependencies file for gstm_stamp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_stm.dir/Contention.cpp.o"
+  "CMakeFiles/gstm_stm.dir/Contention.cpp.o.d"
+  "CMakeFiles/gstm_stm.dir/Tl2.cpp.o"
+  "CMakeFiles/gstm_stm.dir/Tl2.cpp.o.d"
+  "libgstm_stm.a"
+  "libgstm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

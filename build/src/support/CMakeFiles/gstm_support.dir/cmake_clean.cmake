@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_support.dir/Options.cpp.o"
+  "CMakeFiles/gstm_support.dir/Options.cpp.o.d"
+  "CMakeFiles/gstm_support.dir/Stats.cpp.o"
+  "CMakeFiles/gstm_support.dir/Stats.cpp.o.d"
+  "libgstm_support.a"
+  "libgstm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

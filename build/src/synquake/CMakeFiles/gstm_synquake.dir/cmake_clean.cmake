@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gstm_synquake.dir/Experiment.cpp.o"
+  "CMakeFiles/gstm_synquake.dir/Experiment.cpp.o.d"
+  "CMakeFiles/gstm_synquake.dir/Game.cpp.o"
+  "CMakeFiles/gstm_synquake.dir/Game.cpp.o.d"
+  "libgstm_synquake.a"
+  "libgstm_synquake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gstm_synquake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

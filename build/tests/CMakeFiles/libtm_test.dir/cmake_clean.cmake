@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/libtm_test.dir/libtm_test.cpp.o"
+  "CMakeFiles/libtm_test.dir/libtm_test.cpp.o.d"
+  "libtm_test"
+  "libtm_test.pdb"
+  "libtm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/libtm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replay_test.cpp" "tests/CMakeFiles/replay_test.dir/replay_test.cpp.o" "gcc" "tests/CMakeFiles/replay_test.dir/replay_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synquake/CMakeFiles/gstm_synquake.dir/DependInfo.cmake"
+  "/root/repo/build/src/stamp/CMakeFiles/gstm_stamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/libtm/CMakeFiles/gstm_libtm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gstm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/gstm_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/gstm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

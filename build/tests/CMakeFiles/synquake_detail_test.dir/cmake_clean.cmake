@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synquake_detail_test.dir/synquake_detail_test.cpp.o"
+  "CMakeFiles/synquake_detail_test.dir/synquake_detail_test.cpp.o.d"
+  "synquake_detail_test"
+  "synquake_detail_test.pdb"
+  "synquake_detail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synquake_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synquake_test.dir/synquake_test.cpp.o"
+  "CMakeFiles/synquake_test.dir/synquake_test.cpp.o.d"
+  "synquake_test"
+  "synquake_test.pdb"
+  "synquake_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synquake_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
