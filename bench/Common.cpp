@@ -7,6 +7,8 @@
 
 #include "bench/Common.h"
 
+#include "core/JsonExport.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -51,6 +53,7 @@ BenchOptions BenchOptions::parse(int Argc, char **Argv) {
   B.MeasureSize = parseSizeClass(Opts.getString("size", "large"));
   B.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
   B.ForceGuided = Opts.getBool("force-guided", B.ForceGuided);
+  B.JsonDir = Opts.getString("json-dir", "");
 
   std::string Names = Opts.getString("workloads", "");
   B.Workloads = Names.empty() ? stampWorkloadNames() : splitList(Names);
@@ -76,7 +79,15 @@ ExperimentResult gstm::runStampExperiment(const std::string &Workload,
   Cfg.ForceGuided = Opts.ForceGuided;
   Cfg.ProfileSeedBase = Opts.Seed * 1000 + 1;
   Cfg.MeasureSeedBase = Opts.Seed * 1000 + 500;
-  return runExperiment(*Train, *Test, Cfg);
+  ExperimentResult Result = runExperiment(*Train, *Test, Cfg);
+
+  if (!Opts.JsonDir.empty()) {
+    std::string Path = Opts.JsonDir + "/" + Workload + "_t" +
+                       std::to_string(Threads) + ".json";
+    if (!writeTextFile(Path, experimentJson(Result)))
+      std::fprintf(stderr, "warning: cannot write '%s'\n", Path.c_str());
+  }
+  return Result;
 }
 
 void gstm::printBanner(const char *Title, const char *PaperRef,

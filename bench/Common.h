@@ -16,6 +16,7 @@
 ///                       train on medium, guide on large)
 ///   --workloads=a,b,c   subset of the STAMP ports
 ///   --seed=N            base seed
+///   --json-dir=DIR      also write per-experiment JSON exports there
 ///
 /// Defaults are scaled so each binary completes in about a minute on a
 /// small machine; raise --runs/--profile-runs toward the paper's 20 for
@@ -49,6 +50,11 @@ struct BenchOptions {
   /// figures need guided data for every benchmark; Fig. 8 specifically
   /// shows the rejected ssca2 degrading).
   bool ForceGuided = true;
+  /// When non-empty, runStampExperiment also writes the full experiment
+  /// JSON (metrics + telemetry, see core/JsonExport.h) to
+  /// <dir>/<workload>_t<threads>.json for model_inspect --stats and
+  /// offline analysis. The directory must exist.
+  std::string JsonDir;
 
   static BenchOptions parse(int Argc, char **Argv);
 };

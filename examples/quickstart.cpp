@@ -115,9 +115,9 @@ int main(int Argc, char **Argv) {
     Tl2Stm Stm(StmCfg);
     auto Accounts = makeAccounts();
     runBank(Stm, Threads, Transfers, Accounts);
-    DefaultAborts = Stm.stats().Aborts.load();
+    DefaultAborts = Stm.stats().aborts();
     std::printf("[3/4] default run: %lu commits, %lu aborts\n",
-                Stm.stats().Commits.load(), DefaultAborts);
+                Stm.stats().commits(), DefaultAborts);
   }
 
   // ------------------------------------------------------------------
@@ -138,13 +138,13 @@ int main(int Argc, char **Argv) {
     GuideStats GS = Controller.stats();
     std::printf("[4/4] guided run:  %lu commits, %lu aborts "
                 "(gate held %lu starts)\n",
-                Stm.stats().Commits.load(), Stm.stats().Aborts.load(),
+                Stm.stats().commits(), Stm.stats().aborts(),
                 GS.Holds);
     std::printf("      money conserved: %s (total %ld)\n",
                 Total == int64_t{NumAccounts} * 1000 ? "yes" : "NO BUG",
                 Total);
     std::printf("      abort change: %lu -> %lu\n", DefaultAborts,
-                Stm.stats().Aborts.load());
+                Stm.stats().aborts());
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "core/Experiment.h"
 
 #include <cassert>
+#include <cmath>
 #include <unordered_set>
 
 using namespace gstm;
@@ -33,6 +34,7 @@ struct SideCollector {
     ++Runs;
     Agg.TotalCommits += R.Commits;
     Agg.TotalAborts += R.Aborts;
+    Agg.Telemetry.merge(R.Telemetry);
     Agg.Guide.GateChecks += R.Guide.GateChecks;
     Agg.Guide.Holds += R.Guide.Holds;
     Agg.Guide.ForcedReleases += R.Guide.ForcedReleases;
@@ -159,12 +161,19 @@ std::vector<double> ExperimentResult::tailImprovementPercent() const {
 
 double ExperimentResult::meanTailImprovementPercent() const {
   std::vector<double> Per = tailImprovementPercent();
-  if (Per.empty())
-    return 0.0;
+  // percentImprovement is NaN for an undefined ratio (zero baseline,
+  // non-zero optimized); average only the defined entries.
   double Sum = 0.0;
-  for (double V : Per)
+  size_t Defined = 0;
+  for (double V : Per) {
+    if (std::isnan(V))
+      continue;
     Sum += V;
-  return Sum / static_cast<double>(Per.size());
+    ++Defined;
+  }
+  if (Defined == 0)
+    return 0.0;
+  return Sum / static_cast<double>(Defined);
 }
 
 double ExperimentResult::nondeterminismReductionPercent() const {

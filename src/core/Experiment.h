@@ -67,6 +67,9 @@ struct SideAggregate {
   double MeanWallSeconds = 0.0;
   uint64_t TotalCommits = 0;
   uint64_t TotalAborts = 0;
+  /// Sharded telemetry merged across all measurement runs of this side
+  /// (TotalCommits/TotalAborts above equal its Commits/Aborts).
+  StatsSnapshot Telemetry;
   GuideStats Guide;
   bool AllVerified = true;
 };

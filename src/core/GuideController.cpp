@@ -40,11 +40,18 @@ void GuideController::onTxStart(ThreadId Thread, TxId Tx) {
 void GuideController::onCommit(const CommitEvent &E) {
   StateTuple Tuple;
   Tuple.Commit = packPair(E.Tx, E.Thread);
+  // Keep the PendingMutex critical section to an O(1) buffer swap: the
+  // old move-out handed PendingAborts' heap buffer to the tuple, forcing
+  // the next onAbort to reallocate under the lock. Swapping with a
+  // per-thread scratch vector (capacity retained across commits) keeps
+  // both the swap and the steady-state aborts allocation-free.
+  static thread_local std::vector<TxThreadPair> Scratch;
+  Scratch.clear();
   {
     std::lock_guard<std::mutex> Lock(PendingMutex);
-    Tuple.Aborts = std::move(PendingAborts);
-    PendingAborts.clear();
+    Scratch.swap(PendingAborts);
   }
+  Tuple.Aborts.assign(Scratch.begin(), Scratch.end());
   Tuple.canonicalize();
 
   StateId Resolved = Policy.resolve(Tuple);

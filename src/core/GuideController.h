@@ -37,6 +37,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
 namespace gstm {
 
@@ -72,7 +73,11 @@ public:
   /// receives every event after state tracking.
   GuideController(const GuidedPolicy &Policy, const GuideConfig &Config,
                   TxEventObserver *Downstream = nullptr)
-      : Policy(Policy), Cfg(Config), Downstream(Downstream) {}
+      : Policy(Policy), Cfg(Config), Downstream(Downstream) {
+    // Pre-size so early aborts don't grow the vector while PendingMutex
+    // is held; onCommit's swap recycles buffers from then on.
+    PendingAborts.reserve(64);
+  }
 
   // StartGate: hold low-probability transactions back.
   void onTxStart(ThreadId Thread, TxId Tx) override;

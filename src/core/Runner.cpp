@@ -72,8 +72,15 @@ RunResult gstm::runWorkloadOnce(TlWorkload &Workload,
     W.join();
   Result.WallSeconds = WallTimer.elapsedSeconds();
 
-  Result.Commits = Stm.stats().Commits.load(std::memory_order_relaxed);
-  Result.Aborts = Stm.stats().Aborts.load(std::memory_order_relaxed);
+  // Workers have joined, so the shard aggregate is exact.
+  Result.Telemetry = Stm.stats().aggregate();
+  Result.Commits = Result.Telemetry.Commits;
+  Result.Aborts = Result.Telemetry.Aborts;
+  Result.ThreadTelemetry.reserve(Config.Threads);
+  for (unsigned T = 0; T < Config.Threads && T < ShardedStats::numShards();
+       ++T)
+    Result.ThreadTelemetry.push_back(
+        Stm.stats().snapshotShard(static_cast<size_t>(T)));
   if (Config.CollectTrace) {
     Result.ThreadHists = Collector.abortHistograms();
     Result.Tuples = groupTuples(Collector.takeTrace(), Config.GroupMode);

@@ -32,6 +32,9 @@ namespace gstm {
 inline Tl2Config experimentStmConfig() {
   Tl2Config Cfg;
   Cfg.PreemptShift = 5;
+  // Attempt-latency sampling is cheap (two steady_clock reads per attempt
+  // on a thread-private shard) and feeds the exported telemetry.
+  Cfg.TrackAttemptLatency = true;
   return Cfg;
 }
 
@@ -66,6 +69,15 @@ struct RunResult {
   std::vector<StateTuple> Tuples;
   uint64_t Commits = 0;
   uint64_t Aborts = 0;
+  /// Aggregated sharded telemetry of the run: abort breakdown by cause
+  /// and site, retries-before-commit histogram, attempt latency.
+  /// Commits/Aborts above are its totals, kept as separate fields for
+  /// existing consumers.
+  StatsSnapshot Telemetry;
+  /// Per-thread shard snapshots, indexed by ThreadId (shard index ==
+  /// ThreadId while Threads <= StatsShardCount, which covers every
+  /// configuration the experiments use).
+  std::vector<StatsSnapshot> ThreadTelemetry;
   double WallSeconds = 0.0;
   /// Gate counters (all zero for unguided runs).
   GuideStats Guide;

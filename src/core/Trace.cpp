@@ -21,6 +21,7 @@ void TraceCollector::onCommit(const CommitEvent &E) {
   Ev.Thread = E.Thread;
   Ev.Tx = E.Tx;
   Ev.IsCommit = true;
+  Ev.ReadOnly = E.ReadOnly;
   Ev.PriorAborts = E.PriorAborts;
   PerThread[E.Thread].Events.push_back(Ev);
 }
@@ -105,7 +106,9 @@ groupCausal(const std::vector<TraceEvent> &Trace) {
       continue;
     size_t Tuple = CommitIdx.size();
     CommitIdx.push_back(I);
-    if (E.Version != 0)
+    // Read-only commits install no version; indexing them would map a
+    // conflicting writer's version onto an unrelated reader commit.
+    if (!E.ReadOnly)
       ByVersion.emplace(E.Version, Tuple);
     ByPair[packPair(E.Tx, E.Thread)].push_back(Tuple);
   }

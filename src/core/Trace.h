@@ -41,12 +41,15 @@ namespace gstm {
 struct TraceEvent {
   /// Global capture order (atomic counter at emission time).
   uint64_t Seq;
-  /// Commit version for commits (0 for read-only); conflict-exposing
-  /// version for aborts when known (else 0).
+  /// Commit version for commits; conflict-exposing version for aborts
+  /// when known (else 0). For commits check ReadOnly instead of testing
+  /// Version against 0.
   uint64_t Version;
   ThreadId Thread;
   TxId Tx;
   bool IsCommit;
+  /// Commit-only: the commit installed no version (CommitEvent::ReadOnly).
+  bool ReadOnly = false;
   /// Abort-only fields.
   AbortCauseKind Kind = AbortCauseKind::UnknownCommitter;
   TxThreadPair Cause = 0;

@@ -37,7 +37,7 @@ void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
   uint64_t Pre = Obj.meta().load(std::memory_order_acquire);
   StripeState PreState = LockTable::decode(Pre);
   if (PreState.Locked)
-    abortOnOwner(PreState.Owner);
+    abortOnOwner(PreState.Owner, AbortSite::Read);
 
   std::atomic<uint64_t> *Words = Obj.words();
   for (size_t I = 0, E = Obj.numWords(); I != E; ++I)
@@ -47,11 +47,11 @@ void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
   if (Post != Pre) {
     StripeState PostState = LockTable::decode(Post);
     if (PostState.Locked)
-      abortOnOwner(PostState.Owner);
-    abortOnVersion(PostState.Version);
+      abortOnOwner(PostState.Owner, AbortSite::Read);
+    abortOnVersion(PostState.Version, AbortSite::Read);
   }
   if (PreState.Version > Rv)
-    abortOnVersion(PreState.Version);
+    abortOnVersion(PreState.Version, AbortSite::Read);
 
   ReadSet.push_back(&Obj);
 }
@@ -70,13 +70,13 @@ void LibTxn::writeWords(TObjBase &Obj, const uint64_t *In) {
 }
 
 void LibTxn::commitOrThrow(uint32_t PriorAborts) {
-  Tl2Stats &Stats = S.stats();
   TxThreadPair Self = packPair(CurrentTx, Thread);
 
   if (WriteObjs.empty()) {
-    Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+    Shard->recordCommit(PriorAborts, /*ReadOnly=*/true);
     if (TxEventObserver *Obs = S.observer())
-      Obs->onCommit(CommitEvent{Thread, CurrentTx, 0, PriorAborts});
+      Obs->onCommit(CommitEvent{Thread, CurrentTx, 0, PriorAborts,
+                                /*ReadOnly=*/true});
     return;
   }
 
@@ -90,7 +90,7 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
       StripeState OldState = LockTable::decode(Old);
       if (OldState.Locked) {
         releaseAcquiredLocks();
-        abortOnOwner(OldState.Owner);
+        abortOnOwner(OldState.Owner, AbortSite::LockAcquire);
       }
       if (Obj->meta().compare_exchange_weak(
               Old, LockTable::encodeLocked(Self),
@@ -108,7 +108,7 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
       if (State.Locked) {
         if (State.Owner != Self) {
           releaseAcquiredLocks();
-          abortOnOwner(State.Owner);
+          abortOnOwner(State.Owner, AbortSite::CommitValidate);
         }
         // Locked by self (object is also written): validate the version
         // the object had when we locked it, or a commit that interleaved
@@ -123,13 +123,13 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
         StripeState PreLock = LockTable::decode(It->second);
         if (PreLock.Version > Rv) {
           releaseAcquiredLocks();
-          abortOnVersion(PreLock.Version);
+          abortOnVersion(PreLock.Version, AbortSite::CommitValidate);
         }
         continue;
       }
       if (State.Version > Rv) {
         releaseAcquiredLocks();
-        abortOnVersion(State.Version);
+        abortOnVersion(State.Version, AbortSite::CommitValidate);
       }
     }
   }
@@ -149,9 +149,10 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
   }
   Acquired.clear();
 
-  Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+  Shard->recordCommit(PriorAborts, /*ReadOnly=*/false);
   if (TxEventObserver *Obs = S.observer())
-    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts});
+    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts,
+                              /*ReadOnly=*/false});
 }
 
 void LibTxn::releaseAcquiredLocks() {
@@ -160,30 +161,31 @@ void LibTxn::releaseAcquiredLocks() {
   Acquired.clear();
 }
 
-void LibTxn::abortOnOwner(TxThreadPair Owner) {
+void LibTxn::abortOnOwner(TxThreadPair Owner, AbortSite Site) {
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
-                                 AbortCauseKind::KnownCommitter, Owner, 0});
+                                 AbortCauseKind::KnownCommitter, Owner, 0,
+                                 Site});
 }
 
-void LibTxn::abortOnVersion(uint64_t Version) {
+void LibTxn::abortOnVersion(uint64_t Version, AbortSite Site) {
   TxThreadPair Committer;
   if (S.commitRing().lookup(Version, Committer))
     reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                    AbortCauseKind::KnownCommitter,
-                                   Committer, Version});
+                                   Committer, Version, Site});
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                  AbortCauseKind::UnknownCommitter, 0,
-                                 Version});
+                                 Version, Site});
 }
 
 void LibTxn::retryAbort() {
-  reportAbortAndThrow(
-      AbortEvent{Thread, CurrentTx, AbortCauseKind::Explicit, 0, 0});
+  reportAbortAndThrow(AbortEvent{Thread, CurrentTx, AbortCauseKind::Explicit,
+                                 0, 0, AbortSite::Explicit});
 }
 
 void LibTxn::reportAbortAndThrow(const AbortEvent &E) {
   assert(Acquired.empty() && "locks must be released before reporting");
-  S.stats().Aborts.fetch_add(1, std::memory_order_relaxed);
+  Shard->recordAbort(E.Kind, E.Site);
   if (TxEventObserver *Obs = S.observer())
     Obs->onAbort(E);
   throw TxAbortException{};

@@ -45,6 +45,7 @@
 #include "support/Ids.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
@@ -118,6 +119,9 @@ struct LibTmConfig {
   /// probability 2^-PreemptShift per object access to restore
   /// multicore-like transaction overlap on undersized hosts. 0 = off.
   unsigned PreemptShift = 0;
+  /// Accumulate per-attempt wall-clock latency into the stats shards
+  /// (see Tl2Config::TrackAttemptLatency).
+  bool TrackAttemptLatency = false;
 };
 
 /// One object-based STM runtime instance.
@@ -137,7 +141,9 @@ public:
   CommitRing &commitRing() { return Ring; }
   TxEventObserver *observer() const { return Observer; }
   StartGate *gate() const { return Gate; }
+  /// Sharded per-thread telemetry (see stm/StatsShard.h).
   Tl2Stats &stats() { return Counters; }
+  const Tl2Stats &stats() const { return Counters; }
 
 private:
   LibTmConfig Cfg;
@@ -152,7 +158,7 @@ private:
 class LibTxn {
 public:
   LibTxn(LibTm &Tm, ThreadId Thread)
-      : S(Tm), Thread(Thread),
+      : S(Tm), Thread(Thread), Shard(&Tm.stats().shard(Thread)),
         PreemptLcg(0x2545f4914f6cdd1dULL ^
                    (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
   LibTxn(const LibTxn &) = delete;
@@ -161,16 +167,24 @@ public:
   /// Executes \p Body transactionally at site \p Tx, retrying until
   /// commit.
   template <typename BodyFn> void run(TxId Tx, BodyFn &&Body) {
+    const bool TrackLatency = S.config().TrackAttemptLatency;
     uint32_t Attempts = 0;
     for (;;) {
       if (StartGate *G = S.gate())
         G->onTxStart(Thread, Tx);
+      std::chrono::steady_clock::time_point AttemptStart;
+      if (TrackLatency)
+        AttemptStart = std::chrono::steady_clock::now();
       begin(Tx);
       try {
         Body(*this);
         commitOrThrow(Attempts);
+        if (TrackLatency)
+          recordAttemptLatency(AttemptStart);
         return;
       } catch (const TxAbortException &) {
+        if (TrackLatency)
+          recordAttemptLatency(AttemptStart);
       }
       ++Attempts;
       backoff(Attempts);
@@ -212,10 +226,17 @@ private:
   void commitOrThrow(uint32_t PriorAborts);
   void backoff(uint32_t Attempts) const;
 
-  [[noreturn]] void abortOnOwner(TxThreadPair Owner);
-  [[noreturn]] void abortOnVersion(uint64_t Version);
+  [[noreturn]] void abortOnOwner(TxThreadPair Owner, AbortSite Site);
+  [[noreturn]] void abortOnVersion(uint64_t Version, AbortSite Site);
   [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
   void releaseAcquiredLocks();
+
+  void recordAttemptLatency(std::chrono::steady_clock::time_point Start) {
+    Shard->recordAttempt(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count()));
+  }
 
   /// Scheduler perturbation (see LibTmConfig::PreemptShift).
   void maybePreempt() {
@@ -230,6 +251,8 @@ private:
 
   LibTm &S;
   ThreadId Thread;
+  /// This thread's telemetry shard, resolved once at construction.
+  StatsShard *Shard;
   TxId CurrentTx = 0;
   uint64_t Rv = 0;
   uint64_t PreemptLcg;

@@ -40,6 +40,22 @@ enum class AbortCauseKind : uint8_t {
   Explicit,
 };
 
+/// Where in the transaction lifecycle the abort fired. Orthogonal to
+/// AbortCauseKind: the cause says *who* conflicted, the site says *when*
+/// the conflict surfaced.
+enum class AbortSite : uint8_t {
+  /// During a transactional load (stale version or locked stripe seen at
+  /// read time).
+  Read,
+  /// While acquiring a stripe/object lock — encounter-time in eager mode,
+  /// commit-time in lazy mode.
+  LockAcquire,
+  /// During commit-time read-set validation.
+  CommitValidate,
+  /// User-requested retryAbort.
+  Explicit,
+};
+
 /// Description of one abort, passed to TxEventObserver::onAbort.
 struct AbortEvent {
   ThreadId Thread;
@@ -49,17 +65,25 @@ struct AbortEvent {
   TxThreadPair Cause;
   /// Version that exposed the conflict, when known (else 0).
   uint64_t CauseVersion;
+  /// Lifecycle point at which the abort fired.
+  AbortSite Site = AbortSite::Read;
 };
 
 /// Description of one successful commit.
 struct CommitEvent {
   ThreadId Thread;
   TxId Tx;
-  /// Write version installed by this commit; 0 for read-only commits.
+  /// Write version installed by this commit. Read-only commits install no
+  /// version; check ReadOnly rather than comparing Version against 0,
+  /// which is also the clock's initial value.
   uint64_t Version;
   /// Number of aborted attempts this transaction suffered before
   /// committing (for per-thread abort histograms).
   uint32_t PriorAborts;
+  /// True when the commit installed no version (empty write set). The
+  /// explicit flag replaces the old `Version == 0` sentinel, which
+  /// collided with the legitimate "version unknown" meaning downstream.
+  bool ReadOnly = false;
 };
 
 /// Receives the transaction event stream. Implementations must be

@@ -51,7 +51,7 @@ uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
     // against rv at acquisition and nobody else can touch it.
     if (PreState.Owner == packPair(CurrentTx, Thread))
       return Word.load(std::memory_order_relaxed);
-    abortOnOwner(PreState.Owner);
+    abortOnOwner(PreState.Owner, AbortSite::Read);
   }
 
   uint64_t Value = Word.load(std::memory_order_acquire);
@@ -60,11 +60,11 @@ uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
   if (Post != Pre) {
     StripeState PostState = LockTable::decode(Post);
     if (PostState.Locked)
-      abortOnOwner(PostState.Owner);
-    abortOnVersion(PostState.Version);
+      abortOnOwner(PostState.Owner, AbortSite::Read);
+    abortOnVersion(PostState.Version, AbortSite::Read);
   }
   if (PreState.Version > Rv)
-    abortOnVersion(PreState.Version);
+    abortOnVersion(PreState.Version, AbortSite::Read);
 
   ReadSet.push_back(&Stripe);
   return Value;
@@ -98,13 +98,13 @@ void Tl2Txn::storeWordEager(std::atomic<uint64_t> &Word, uint64_t Value) {
     if (OldState.Locked) {
       if (OldState.Owner == Self)
         break; // stripe already ours from an earlier write
-      abortOnOwner(OldState.Owner);
+      abortOnOwner(OldState.Owner, AbortSite::LockAcquire);
     }
     // Acquiring a stripe newer than our snapshot would let the attempt
     // mix pre- and post-conflict state; abort instead, as TL2's eager
     // variant does.
     if (OldState.Version > Rv)
-      abortOnVersion(OldState.Version);
+      abortOnVersion(OldState.Version, AbortSite::LockAcquire);
     if (Stripe.compare_exchange_weak(Old, LockTable::encodeLocked(Self),
                                      std::memory_order_acq_rel,
                                      std::memory_order_relaxed)) {
@@ -124,17 +124,16 @@ void Tl2Txn::undoEagerWrites() {
 }
 
 void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
-  Tl2Stats &Stats = S.stats();
   TxThreadPair Self = packPair(CurrentTx, Thread);
 
   // Read-only transactions: every read was validated against rv when it
   // happened, so the snapshot is consistent and no locks are needed.
   // (Eager attempts that wrote hold stripes in Acquired instead.)
   if (WriteLog.empty() && Acquired.empty()) {
-    Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+    Shard->recordCommit(PriorAborts, /*ReadOnly=*/true);
     if (TxEventObserver *Obs = S.observer())
       Obs->onCommit(CommitEvent{Thread, CurrentTx, /*Version=*/0,
-                                PriorAborts});
+                                PriorAborts, /*ReadOnly=*/true});
     return;
   }
 
@@ -157,7 +156,8 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
     for (;;) {
       StripeState OldState = LockTable::decode(Old);
       if (OldState.Locked)
-        abortOnOwner(OldState.Owner); // rollback happens in the report
+        abortOnOwner(OldState.Owner, // rollback happens in the report
+                     AbortSite::LockAcquire);
       if (Stripe.compare_exchange_weak(Old, LockTable::encodeLocked(Self),
                                        std::memory_order_acq_rel,
                                        std::memory_order_relaxed))
@@ -184,7 +184,7 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
       StripeState State = LockTable::decode(Word);
       if (State.Locked) {
         if (State.Owner != Self)
-          abortOnOwner(State.Owner);
+          abortOnOwner(State.Owner, AbortSite::CommitValidate);
         // Locked by self: the stripe is in our write set, but the read
         // that logged it must still be validated against the version the
         // stripe had when *we* locked it — otherwise a commit that slid
@@ -193,11 +193,11 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
         uint64_t PreLock = preLockWordFor(Stripe);
         StripeState PreLockState = LockTable::decode(PreLock);
         if (PreLockState.Version > Rv)
-          abortOnVersion(PreLockState.Version);
+          abortOnVersion(PreLockState.Version, AbortSite::CommitValidate);
         continue;
       }
       if (State.Version > Rv)
-        abortOnVersion(State.Version);
+        abortOnVersion(State.Version, AbortSite::CommitValidate);
     }
   }
 
@@ -212,9 +212,10 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
         .store(LockTable::encodeVersion(Wv), std::memory_order_release);
   Acquired.clear();
 
-  Stats.Commits.fetch_add(1, std::memory_order_relaxed);
+  Shard->recordCommit(PriorAborts, /*ReadOnly=*/false);
   if (TxEventObserver *Obs = S.observer())
-    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts});
+    Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts,
+                              /*ReadOnly=*/false});
 }
 
 uint64_t Tl2Txn::preLockWordFor(const std::atomic<uint64_t> *Stripe) const {
@@ -240,35 +241,39 @@ void Tl2Txn::releaseAcquiredLocks() {
   Acquired.clear();
 }
 
-void Tl2Txn::abortOnOwner(TxThreadPair Owner) {
+void Tl2Txn::abortOnOwner(TxThreadPair Owner, AbortSite Site) {
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                  AbortCauseKind::KnownCommitter, Owner,
-                                 /*CauseVersion=*/0});
+                                 /*CauseVersion=*/0, Site});
 }
 
-void Tl2Txn::abortOnVersion(uint64_t Version) {
+void Tl2Txn::abortOnVersion(uint64_t Version, AbortSite Site) {
   TxThreadPair Committer;
   if (S.commitRing().lookup(Version, Committer))
     reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                    AbortCauseKind::KnownCommitter, Committer,
-                                   Version});
+                                   Version, Site});
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                  AbortCauseKind::UnknownCommitter,
-                                 /*Cause=*/0, Version});
+                                 /*Cause=*/0, Version, Site});
 }
 
-void Tl2Txn::abortUnknown() {
+void Tl2Txn::abortUnknown(AbortSite Site) {
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                  AbortCauseKind::UnknownCommitter,
-                                 /*Cause=*/0, /*CauseVersion=*/0});
+                                 /*Cause=*/0, /*CauseVersion=*/0, Site});
 }
 
 void Tl2Txn::retryAbort() {
   reportAbortAndThrow(AbortEvent{Thread, CurrentTx, AbortCauseKind::Explicit,
-                                 /*Cause=*/0, /*CauseVersion=*/0});
+                                 /*Cause=*/0, /*CauseVersion=*/0,
+                                 AbortSite::Explicit});
 }
 
 void Tl2Txn::reportAbortAndThrow(const AbortEvent &E) {
+  // Opens must be counted before the eager rollback below clears UndoLog:
+  // eager writes live there, not in WriteLog.
+  LastOpens = opensCount();
   // Eager attempts may abort while holding stripes mid-run: revert their
   // in-place writes, then free the stripes. (Lazy commit aborts released
   // their locks already; both calls are no-ops then.)
@@ -276,8 +281,7 @@ void Tl2Txn::reportAbortAndThrow(const AbortEvent &E) {
   releaseAcquiredLocks();
   LastEnemyKnown = E.Kind == AbortCauseKind::KnownCommitter;
   LastEnemy = LastEnemyKnown ? E.Cause : 0;
-  LastOpens = ReadSet.size() + WriteLog.size();
-  S.stats().Aborts.fetch_add(1, std::memory_order_relaxed);
+  Shard->recordAbort(E.Kind, E.Site);
   if (TxEventObserver *Obs = S.observer())
     Obs->onAbort(E);
   throw TxAbortException{};

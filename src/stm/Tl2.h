@@ -39,6 +39,7 @@
 #include "stm/Contention.h"
 #include "stm/LockTable.h"
 #include "stm/Observer.h"
+#include "stm/StatsShard.h"
 #include "stm/VersionClock.h"
 #include "support/Ids.h"
 
@@ -96,13 +97,11 @@ struct Tl2Config {
   /// paper studies; random yield points restore multicore-like
   /// interleaving density (see DESIGN.md, substitutions). 0 = off.
   unsigned PreemptShift = 0;
-};
-
-/// Global counters maintained by the runtime (relaxed; for throughput and
-/// abort-ratio reporting, not for the model).
-struct Tl2Stats {
-  std::atomic<uint64_t> Commits{0};
-  std::atomic<uint64_t> Aborts{0};
+  /// When true, every attempt's wall-clock latency is accumulated into
+  /// the per-thread stats shard (two steady_clock reads per attempt).
+  /// Off by default so microbenchmarks measure bare STM cost; the
+  /// experiment harness turns it on (see core/Runner.h).
+  bool TrackAttemptLatency = false;
 };
 
 /// One STM runtime instance: the shared state (clock, lock table, ring)
@@ -136,6 +135,8 @@ public:
   TxEventObserver *observer() const { return Observer; }
   StartGate *gate() const { return Gate; }
   ContentionManager *contentionManager() const { return Cm; }
+  /// Sharded per-thread telemetry (see stm/StatsShard.h). Workers touch
+  /// only their own shard; aggregate() after the run for exact totals.
   Tl2Stats &stats() { return Counters; }
   const Tl2Stats &stats() const { return Counters; }
 
@@ -156,7 +157,7 @@ private:
 class Tl2Txn {
 public:
   Tl2Txn(Tl2Stm &Stm, ThreadId Thread)
-      : S(Stm), Thread(Thread),
+      : S(Stm), Thread(Thread), Shard(&Stm.stats().shard(Thread)),
         PreemptLcg(0x2545f4914f6cdd1dULL ^
                    (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
 
@@ -170,19 +171,27 @@ public:
     ContentionManager *Cm = S.contentionManager();
     if (Cm)
       Cm->onTxBegin(Thread);
+    const bool TrackLatency = S.config().TrackAttemptLatency;
     uint32_t Attempts = 0;
     for (;;) {
       if (StartGate *G = S.gate())
         G->onTxStart(Thread, Tx);
+      std::chrono::steady_clock::time_point AttemptStart;
+      if (TrackLatency)
+        AttemptStart = std::chrono::steady_clock::now();
       begin(Tx);
       try {
         Body(*this);
         commitOrThrow(Attempts);
+        if (TrackLatency)
+          recordAttemptLatency(AttemptStart);
         if (Cm)
-          Cm->onCommit(Thread, ReadSet.size() + WriteLog.size());
+          Cm->onCommit(Thread, opensCount());
         return;
       } catch (const TxAbortException &) {
         // Cause already reported; locks already released.
+        if (TrackLatency)
+          recordAttemptLatency(AttemptStart);
       }
       ++Attempts;
       if (Cm) {
@@ -258,13 +267,30 @@ private:
       std::this_thread::yield();
   }
 
-  /// Reports an abort caused by a known conflicting committer and throws.
-  [[noreturn]] void abortOnOwner(TxThreadPair Owner);
+  /// Reports an abort caused by a known conflicting committer and throws;
+  /// \p Site tags where in the attempt the conflict surfaced.
+  [[noreturn]] void abortOnOwner(TxThreadPair Owner, AbortSite Site);
   /// Reports an abort caused by a too-new version and throws; attribution
   /// goes through the commit ring.
-  [[noreturn]] void abortOnVersion(uint64_t Version);
-  [[noreturn]] void abortUnknown();
+  [[noreturn]] void abortOnVersion(uint64_t Version, AbortSite Site);
+  [[noreturn]] void abortUnknown(AbortSite Site);
   [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
+
+  /// Locations this attempt opened: logged reads plus lazy buffered
+  /// writes plus eager in-place writes. Eager writes live in UndoLog (and
+  /// their stripes in Acquired), not WriteLog — counting only WriteLog
+  /// made contention managers see eager writers as having invested no
+  /// write work.
+  uint64_t opensCount() const {
+    return ReadSet.size() + WriteLog.size() + UndoLog.size();
+  }
+
+  void recordAttemptLatency(std::chrono::steady_clock::time_point Start) {
+    Shard->recordAttempt(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count()));
+  }
   void releaseAcquiredLocks();
   /// Pre-lock word of a stripe this commit already locked (stripe must be
   /// in Acquired).
@@ -280,6 +306,8 @@ private:
 
   Tl2Stm &S;
   ThreadId Thread;
+  /// This thread's telemetry shard, resolved once at construction.
+  StatsShard *Shard;
   TxId CurrentTx = 0;
   uint64_t Rv = 0;
   uint64_t PreemptLcg;

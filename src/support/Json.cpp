@@ -1,0 +1,393 @@
+//===- support/Json.cpp ----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace gstm;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+void JsonWriter::separate() {
+  if (PendingValue) {
+    PendingValue = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out += '}';
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out += ']';
+  NeedComma.pop_back();
+  return *this;
+}
+
+static void appendEscaped(std::string &Out, std::string_view S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+JsonWriter &JsonWriter::key(std::string_view Name) {
+  separate();
+  appendEscaped(Out, Name);
+  Out += ':';
+  PendingValue = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view S) {
+  separate();
+  appendEscaped(Out, S);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  separate();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(int64_t V) {
+  separate();
+  Out += std::to_string(V);
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  separate();
+  if (!std::isfinite(V)) {
+    Out += "null"; // JSON has no NaN / Inf
+    return *this;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out += Buf;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  separate();
+  Out += V ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separate();
+  Out += "null";
+  return *this;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::find(std::string_view Name) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Val] : Members)
+    if (Key == Name)
+      return &Val;
+  return nullptr;
+}
+
+uint64_t JsonValue::asU64() const {
+  if (K != Kind::Number || Num < 0)
+    return 0;
+  return static_cast<uint64_t>(Num);
+}
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : S(Text) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out))
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (S.substr(Pos, Lit.size()) != Lit)
+      return false;
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return parseObject(Out);
+    case '[':
+      return parseArray(Out);
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      std::string Key;
+      if (Pos >= S.size() || S[Pos] != '"' || !parseString(Key))
+        return false;
+      skipWs();
+      if (Pos >= S.size() || S[Pos] != ':')
+        return false;
+      ++Pos;
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(Val));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == '}') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Out.Items.push_back(std::move(Val));
+      skipWs();
+      if (Pos >= S.size())
+        return false;
+      if (S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (S[Pos] == ']') {
+        ++Pos;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    while (Pos < S.size()) {
+      char C = S[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C == '\\') {
+        if (Pos + 1 >= S.size())
+          return false;
+        char E = S[Pos + 1];
+        Pos += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'u': {
+          if (Pos + 4 > S.size())
+            return false;
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = S[Pos + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return false;
+          }
+          Pos += 4;
+          // Telemetry strings are ASCII; encode BMP code points as UTF-8
+          // without surrogate-pair handling.
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return false;
+        }
+        continue;
+      }
+      Out += C;
+      ++Pos;
+    }
+    return false; // unterminated
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() &&
+           ((S[Pos] >= '0' && S[Pos] <= '9') || S[Pos] == '.' ||
+            S[Pos] == 'e' || S[Pos] == 'E' || S[Pos] == '+' ||
+            S[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    std::string Tok(S.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double V = std::strtod(Tok.c_str(), &End);
+    if (End != Tok.c_str() + Tok.size())
+      return false;
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = V;
+    return true;
+  }
+
+  std::string_view S;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> gstm::parseJson(std::string_view Text) {
+  JsonValue Root;
+  Parser P(Text);
+  if (!P.parse(Root))
+    return std::nullopt;
+  return Root;
+}

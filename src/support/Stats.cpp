@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace gstm;
 
@@ -105,7 +106,15 @@ uint64_t AbortHistogram::totalAborts() const {
 }
 
 double gstm::percentImprovement(double Baseline, double Optimized) {
-  if (Baseline == 0.0)
-    return 0.0;
+  if (Baseline == 0.0) {
+    // A zero baseline admits no percentage: 0 -> 0 is genuinely "no
+    // change", but 0 -> anything positive used to be reported as 0.0 too,
+    // silently hiding a regression in the table generators. NaN makes
+    // the undefined case explicit; aggregators skip it (see
+    // meanTailImprovementPercent).
+    if (Optimized == 0.0)
+      return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
+  }
   return 100.0 * (Baseline - Optimized) / Baseline;
 }

@@ -86,7 +86,10 @@ private:
 };
 
 /// Percentage improvement of \p Optimized relative to \p Baseline
-/// (positive = improvement). Returns 0 when the baseline is 0.
+/// (positive = improvement). Convention for a zero baseline: returns 0
+/// when Optimized is also 0 (no change) and quiet NaN otherwise — the
+/// improvement is undefined, and the old 0.0 return silently disguised a
+/// regression as "no change". Callers that aggregate must skip NaNs.
 double percentImprovement(double Baseline, double Optimized);
 
 } // namespace gstm

@@ -51,8 +51,8 @@ OneRun runGameOnce(const SynQuakeParams &Params, unsigned Threads,
   Timer Wall;
   R.FrameSeconds = Game.run(Tm, Threads);
   R.TotalSeconds = Wall.elapsedSeconds();
-  R.Commits = Tm.stats().Commits.load(std::memory_order_relaxed);
-  R.Aborts = Tm.stats().Aborts.load(std::memory_order_relaxed);
+  R.Commits = Tm.stats().commits();
+  R.Aborts = Tm.stats().aborts();
   R.Tuples = groupTuples(Collector.takeTrace(), Grouping::Sequence);
   if (Controller)
     R.Guide = Controller->stats();

@@ -1,0 +1,53 @@
+# Configures, builds, and runs a ThreadSanitizer smoke of the concurrency
+# tests in a dedicated sub-build (-DGSTM_ENABLE_TSAN=ON). Invoked by ctest
+# via the `tsan_smoke` test registered in tests/CMakeLists.txt:
+#
+#   cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<build>/tsan-smoke -P TsanSmoke.cmake
+#
+# The smoke focuses on the racy-by-construction paths: the sharded stats
+# subsystem (single-writer relaxed increments, concurrent aggregation) and
+# the TL2 runtime's multi-threaded tests. A data race anywhere in those
+# paths makes TSan exit non-zero and fails the test.
+
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<dir> -P TsanSmoke.cmake")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DGSTM_ENABLE_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE ConfigureRc)
+if(NOT ConfigureRc EQUAL 0)
+  message(FATAL_ERROR "tsan sub-build configure failed (${ConfigureRc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
+          --target stats_test tl2_test
+  RESULT_VARIABLE BuildRc)
+if(NOT BuildRc EQUAL 0)
+  message(FATAL_ERROR "tsan sub-build compile failed (${BuildRc})")
+endif()
+
+# halt_on_error makes the first race fatal instead of a warning, so the
+# exit code reflects it even if the test logic would still pass.
+set(ENV{TSAN_OPTIONS} "halt_on_error=1")
+
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/stats_test
+          --gtest_filter=StatsShardTest.*:StatsAttributionTest.*
+  RESULT_VARIABLE StatsRc)
+if(NOT StatsRc EQUAL 0)
+  message(FATAL_ERROR "stats_test failed under tsan (${StatsRc})")
+endif()
+
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/tl2_test
+          --gtest_filter=Tl2Test.Concurrent*:Tl2Test.BankTransfer*:Tl2Test.Snapshot*:Tl2Test.AbortEvents*
+  RESULT_VARIABLE Tl2Rc)
+if(NOT Tl2Rc EQUAL 0)
+  message(FATAL_ERROR "tl2_test failed under tsan (${Tl2Rc})")
+endif()
+
+message(STATUS "tsan smoke passed")

@@ -129,7 +129,7 @@ TEST(EagerTest, CounterUnderPreemptionLosesNothing) {
   for (auto &W : Workers)
     W.join();
   EXPECT_EQ(X.loadDirect(), uint64_t{Threads} * PerThread);
-  EXPECT_GT(Stm.stats().Aborts.load(), 0u)
+  EXPECT_GT(Stm.stats().aborts(), 0u)
       << "preemption should force real conflicts";
 }
 

@@ -78,7 +78,11 @@ TEST(ExperimentTest, Ssca2ModelRejectedByAnalyzer) {
   Ssca2Workload W(Ssca2Params::forSize(SizeClass::Small));
   ExperimentConfig Cfg = quickConfig(8);
   ExperimentResult R = runExperiment(W, Cfg);
-  EXPECT_LT(R.Model.numStates(), 4u * Cfg.Threads)
+  // Bound matches the analyzer's own MinStates = 6 * Threads rejection
+  // threshold. A tighter 4 * Threads bound flaked when the host was
+  // loaded: overload adds a few rare abort tuples (observed up to ~37 at
+  // 8 threads) without changing the verdict.
+  EXPECT_LT(R.Model.numStates(), 6u * Cfg.Threads)
       << "ssca2 states should be ~one singleton tuple per thread";
   EXPECT_FALSE(R.Report.Optimizable);
   EXPECT_FALSE(R.GuidedRan);

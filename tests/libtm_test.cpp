@@ -64,7 +64,7 @@ TEST(LibTmTest, AbortDiscardsBufferedWrites) {
   });
   EXPECT_EQ(Attempts, 2);
   EXPECT_EQ(X.loadDirect(), 77u);
-  EXPECT_EQ(Tm.stats().Aborts.load(), 1u);
+  EXPECT_EQ(Tm.stats().aborts(), 1u);
 }
 
 TEST(LibTmTest, ConcurrentCountersLoseNoUpdates) {
@@ -171,5 +171,5 @@ TEST(LibTmTest, ObserverSeesCommitsAndAborts) {
     W.join();
 
   EXPECT_EQ(Obs.Commits.load(), uint64_t{Threads} * 100);
-  EXPECT_EQ(Obs.Aborts.load(), Tm.stats().Aborts.load());
+  EXPECT_EQ(Obs.Aborts.load(), Tm.stats().aborts());
 }

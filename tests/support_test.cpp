@@ -146,7 +146,10 @@ TEST(RunningStatTest, TrimmedStddevFallsBackOnSmallSamples) {
 TEST(StatsTest, PercentImprovement) {
   EXPECT_DOUBLE_EQ(percentImprovement(10.0, 5.0), 50.0);
   EXPECT_DOUBLE_EQ(percentImprovement(10.0, 12.0), -20.0);
-  EXPECT_DOUBLE_EQ(percentImprovement(0.0, 5.0), 0.0);
+  // Zero baseline: 0 -> 0 is "no change"; 0 -> positive has no defined
+  // percentage and must not be reported as 0 (it would hide a regression).
+  EXPECT_DOUBLE_EQ(percentImprovement(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isnan(percentImprovement(0.0, 5.0)));
 }
 
 TEST(OptionsTest, ParsesKeyValueAndFlags) {

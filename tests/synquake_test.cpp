@@ -49,7 +49,7 @@ TEST(SynQuakeTest, SingleThreadBaseline) {
   Game.setup(Tm, 1, 3);
   Game.run(Tm, 1);
   EXPECT_TRUE(Game.verify());
-  EXPECT_EQ(Tm.stats().Aborts.load(), 0u)
+  EXPECT_EQ(Tm.stats().aborts(), 0u)
       << "one thread can never conflict";
 }
 
@@ -81,7 +81,7 @@ TEST(SynQuakeTest, WorstCaseQuestContendsMoreThanQuadrants) {
     Game.setup(Tm, 4, 5);
     Game.run(Tm, 4);
     EXPECT_TRUE(Game.verify());
-    return Tm.stats().Aborts.load();
+    return Tm.stats().aborts();
   };
   uint64_t WorstCase = AbortsFor(QuestPattern::WorstCase4);
   uint64_t Quadrants = AbortsFor(QuestPattern::Quadrants4);

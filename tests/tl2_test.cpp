@@ -72,8 +72,8 @@ TEST(Tl2Test, SingleThreadReadWrite) {
     EXPECT_EQ(Tx.load(X), 9u) << "read-after-write must see the buffer";
   });
   EXPECT_EQ(X.loadDirect(), 9u);
-  EXPECT_EQ(Stm.stats().Commits.load(), 1u);
-  EXPECT_EQ(Stm.stats().Aborts.load(), 0u);
+  EXPECT_EQ(Stm.stats().commits(), 1u);
+  EXPECT_EQ(Stm.stats().aborts(), 0u);
 }
 
 TEST(Tl2Test, AbortedWritesNeverVisible) {
@@ -88,7 +88,7 @@ TEST(Tl2Test, AbortedWritesNeverVisible) {
   });
   EXPECT_EQ(Attempts, 2);
   EXPECT_EQ(X.loadDirect(), 99u);
-  EXPECT_EQ(Stm.stats().Aborts.load(), 1u);
+  EXPECT_EQ(Stm.stats().aborts(), 1u);
 }
 
 TEST(Tl2Test, TypedVarsRoundTrip) {
@@ -107,13 +107,17 @@ TEST(Tl2Test, TypedVarsRoundTrip) {
   EXPECT_FLOAT_EQ(F.loadDirect(), 2.75f);
 }
 
-TEST(Tl2Test, ReadOnlyTransactionCommitsWithVersionZero) {
+TEST(Tl2Test, ReadOnlyTransactionCommitsFlagged) {
   Tl2Stm Stm;
   TVar<uint64_t> X{3};
 
   struct Probe : TxEventObserver {
     uint64_t LastVersion = 1;
-    void onCommit(const CommitEvent &E) override { LastVersion = E.Version; }
+    bool LastReadOnly = false;
+    void onCommit(const CommitEvent &E) override {
+      LastVersion = E.Version;
+      LastReadOnly = E.ReadOnly;
+    }
     void onAbort(const AbortEvent &) override {}
   } Obs;
   Stm.setObserver(&Obs);
@@ -122,7 +126,15 @@ TEST(Tl2Test, ReadOnlyTransactionCommitsWithVersionZero) {
   uint64_t Seen = 0;
   Txn.run(0, [&](Tl2Txn &Tx) { Seen = Tx.load(X); });
   EXPECT_EQ(Seen, 3u);
+  // Read-only commits are identified by the explicit flag; Version stays 0
+  // only as a legacy convention that consumers must no longer rely on.
+  EXPECT_TRUE(Obs.LastReadOnly);
   EXPECT_EQ(Obs.LastVersion, 0u);
+
+  // A writer commit must not carry the flag.
+  Txn.run(0, [&](Tl2Txn &Tx) { Tx.store(X, Tx.load(X) + 1); });
+  EXPECT_FALSE(Obs.LastReadOnly);
+  EXPECT_GT(Obs.LastVersion, 0u);
 }
 
 TEST(Tl2Test, WriteSetDedupesSameLocation) {
@@ -165,7 +177,7 @@ TEST(Tl2Test, ConcurrentCountersLoseNoUpdates) {
   for (auto &W : Workers)
     W.join();
   EXPECT_EQ(Counter.loadDirect(), uint64_t{Threads} * PerThread);
-  EXPECT_EQ(Stm.stats().Commits.load(), uint64_t{Threads} * PerThread);
+  EXPECT_EQ(Stm.stats().commits(), uint64_t{Threads} * PerThread);
 }
 
 TEST(Tl2Test, BankTransferConservesTotal) {
