@@ -22,6 +22,7 @@ void GuideController::onTxStart(ThreadId Thread, TxId Tx) {
 
   Holds.fetch_add(1, std::memory_order_relaxed);
   for (uint32_t Retry = 0; Retry < Cfg.MaxGateRetries; ++Retry) {
+    GateRetries.fetch_add(1, std::memory_order_relaxed);
     // Let the threads that *are* allowed make progress; one of their
     // commits may move the current state to one that admits us.
     if (Cfg.GateSleepMicros == 0)
@@ -78,6 +79,7 @@ GuideStats GuideController::stats() const {
   GuideStats S;
   S.GateChecks = GateChecks.load(std::memory_order_relaxed);
   S.Holds = Holds.load(std::memory_order_relaxed);
+  S.GateRetries = GateRetries.load(std::memory_order_relaxed);
   S.ForcedReleases = ForcedReleases.load(std::memory_order_relaxed);
   S.UnknownStates = UnknownStates.load(std::memory_order_relaxed);
   S.KnownStates = KnownStates.load(std::memory_order_relaxed);

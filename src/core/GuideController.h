@@ -59,6 +59,10 @@ struct GuideStats {
   uint64_t GateChecks = 0;
   /// Gate invocations that were held back at least once.
   uint64_t Holds = 0;
+  /// Total gate re-checks across all holds. A hold that is eventually
+  /// admitted contributes the retries it waited; a forced release
+  /// contributes exactly MaxGateRetries.
+  uint64_t GateRetries = 0;
   /// Holds that exhausted k retries and were force-released.
   uint64_t ForcedReleases = 0;
   /// Commits whose tuple was not in the model (current state unknown).
@@ -110,6 +114,7 @@ private:
 
   std::atomic<uint64_t> GateChecks{0};
   std::atomic<uint64_t> Holds{0};
+  std::atomic<uint64_t> GateRetries{0};
   std::atomic<uint64_t> ForcedReleases{0};
   std::atomic<uint64_t> UnknownStates{0};
   std::atomic<uint64_t> KnownStates{0};

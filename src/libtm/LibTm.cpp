@@ -22,6 +22,8 @@ void LibTxn::begin(TxId Tx) {
   WriteIndex.clear();
   WriteData.clear();
   Acquired.clear();
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxBegin(Thread, Tx, Rv);
 }
 
 void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
@@ -31,6 +33,8 @@ void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
   if (It != WriteIndex.end()) {
     const uint64_t *Buffered = &WriteData[It->second];
     std::copy(Buffered, Buffered + Obj.numWords(), Out);
+    if (TxAccessObserver *A = S.accessObserver())
+      A->onTxLoad(Thread, &Obj, Out[0], /*Version=*/0, /*Buffered=*/true);
     return;
   }
 
@@ -54,10 +58,15 @@ void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
     abortOnVersion(PreState.Version, AbortSite::Read);
 
   ReadSet.push_back(&Obj);
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxLoad(Thread, &Obj, Out[0], PreState.Version,
+                /*Buffered=*/false);
 }
 
 void LibTxn::writeWords(TObjBase &Obj, const uint64_t *In) {
   maybePreempt();
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxStore(Thread, &Obj, In[0]);
   auto It = WriteIndex.find(&Obj);
   if (It != WriteIndex.end()) {
     std::copy(In, In + Obj.numWords(), &WriteData[It->second]);
@@ -98,6 +107,9 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
         break;
     }
     Acquired.push_back({Obj, Old});
+    if (TxAccessObserver *A = S.accessObserver())
+      A->onLockAcquire(
+          Thread, static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Obj)));
   }
 
   uint64_t Wv = S.clock().advance();

@@ -135,12 +135,18 @@ public:
 
   void setObserver(TxEventObserver *Obs) { Observer = Obs; }
   void setGate(StartGate *G) { Gate = G; }
+  /// Installs \p Obs as the per-access observer (nullptr to disable, the
+  /// default); same contract as Tl2Stm::setAccessObserver. Accesses are
+  /// reported object-granular: Addr = the TObjBase, Value = payload word
+  /// 0.
+  void setAccessObserver(TxAccessObserver *Obs) { AccessObs = Obs; }
 
   const LibTmConfig &config() const { return Cfg; }
   VersionClock &clock() { return Clock; }
   CommitRing &commitRing() { return Ring; }
   TxEventObserver *observer() const { return Observer; }
   StartGate *gate() const { return Gate; }
+  TxAccessObserver *accessObserver() const { return AccessObs; }
   /// Sharded per-thread telemetry (see stm/StatsShard.h).
   Tl2Stats &stats() { return Counters; }
   const Tl2Stats &stats() const { return Counters; }
@@ -151,6 +157,7 @@ private:
   CommitRing Ring;
   TxEventObserver *Observer = nullptr;
   StartGate *Gate = nullptr;
+  TxAccessObserver *AccessObs = nullptr;
   Tl2Stats Counters;
 };
 

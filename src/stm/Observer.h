@@ -104,6 +104,47 @@ public:
   virtual void onTxStart(ThreadId Thread, TxId Tx) = 0;
 };
 
+/// Per-access instrumentation used by the correctness harness
+/// (src/check/): every transactional read (value + validated version),
+/// buffered/in-place write, and versioned-lock acquisition of every
+/// attempt — including attempts that later abort. The runtimes guard each
+/// callback behind a single null-pointer test on a field cached in the
+/// shared STM object, so a run without an access observer pays one
+/// predictable branch per access and nothing else (the acceptance bar the
+/// micro_stm_ops bench pins down).
+///
+/// Callbacks run on the worker thread performing the access and are
+/// ordered within that thread; implementations must be thread-safe across
+/// threads. LibTm reports its object-granular accesses with Addr = the
+/// TObjBase and Value = payload word 0, which is exact for the
+/// single-word objects the check harness drives.
+class TxAccessObserver {
+public:
+  virtual ~TxAccessObserver() = default;
+
+  /// A new attempt of (\p Thread, \p Tx) begins; \p ReadVersion is the
+  /// read version (rv) the attempt sampled.
+  virtual void onTxBegin(ThreadId Thread, TxId Tx, uint64_t ReadVersion) = 0;
+
+  /// A transactional read of \p Addr returned \p Value. \p Version is the
+  /// stripe/object version the read validated against; \p Buffered marks
+  /// reads served from the attempt's own write set (or, in eager mode,
+  /// from a stripe the attempt already owns), which saw no global state
+  /// and carry Version = 0.
+  virtual void onTxLoad(ThreadId Thread, const void *Addr, uint64_t Value,
+                        uint64_t Version, bool Buffered) = 0;
+
+  /// A transactional write of \p Value to \p Addr (buffered in lazy mode,
+  /// in-place under the stripe lock in eager mode).
+  virtual void onTxStore(ThreadId Thread, const void *Addr,
+                         uint64_t Value) = 0;
+
+  /// The attempt acquired the versioned lock identified by \p LockId
+  /// (stripe index for TL2, object address for LibTm) — encounter-time in
+  /// eager mode, commit-time otherwise.
+  virtual void onLockAcquire(ThreadId Thread, uint64_t LockId) = 0;
+};
+
 } // namespace gstm
 
 #endif // GSTM_STM_OBSERVER_H

@@ -22,6 +22,8 @@ void Tl2Txn::begin(TxId Tx) {
   WriteFilter = 0;
   Acquired.clear();
   UndoLog.clear();
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxBegin(Thread, Tx, Rv);
 }
 
 bool Tl2Txn::lookupWriteSet(const std::atomic<uint64_t> *Addr,
@@ -39,8 +41,12 @@ uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
   maybePreempt();
   // Read-after-write: serve buffered values from the write set.
   uint64_t Buffered;
-  if (lookupWriteSet(&Word, Buffered))
+  if (lookupWriteSet(&Word, Buffered)) {
+    if (TxAccessObserver *A = S.accessObserver())
+      A->onTxLoad(Thread, &Word, Buffered, /*Version=*/0,
+                  /*Buffered=*/true);
     return Buffered;
+  }
 
   std::atomic<uint64_t> &Stripe = S.lockTable().stripeFor(&Word);
   uint64_t Pre = Stripe.load(std::memory_order_acquire);
@@ -49,8 +55,12 @@ uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
     // Eager mode writes in place under encounter-time locks, so a stripe
     // we already own is safe to read directly: its version was validated
     // against rv at acquisition and nobody else can touch it.
-    if (PreState.Owner == packPair(CurrentTx, Thread))
-      return Word.load(std::memory_order_relaxed);
+    if (PreState.Owner == packPair(CurrentTx, Thread)) {
+      uint64_t Own = Word.load(std::memory_order_relaxed);
+      if (TxAccessObserver *A = S.accessObserver())
+        A->onTxLoad(Thread, &Word, Own, /*Version=*/0, /*Buffered=*/true);
+      return Own;
+    }
     abortOnOwner(PreState.Owner, AbortSite::Read);
   }
 
@@ -67,6 +77,9 @@ uint64_t Tl2Txn::loadWord(const std::atomic<uint64_t> &Word) {
     abortOnVersion(PreState.Version, AbortSite::Read);
 
   ReadSet.push_back(&Stripe);
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxLoad(Thread, &Word, Value, PreState.Version,
+                /*Buffered=*/false);
   return Value;
 }
 
@@ -76,6 +89,8 @@ void Tl2Txn::storeWord(std::atomic<uint64_t> &Word, uint64_t Value) {
     storeWordEager(Word, Value);
     return;
   }
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxStore(Thread, &Word, Value);
   uint64_t Sig = filterSignature(&Word);
   if ((WriteFilter & Sig) != 0) {
     auto It = WriteIndex.find(&Word);
@@ -108,11 +123,15 @@ void Tl2Txn::storeWordEager(std::atomic<uint64_t> &Word, uint64_t Value) {
     if (Stripe.compare_exchange_weak(Old, LockTable::encodeLocked(Self),
                                      std::memory_order_acq_rel,
                                      std::memory_order_relaxed)) {
-      Acquired.push_back(
-          AcquiredLock{S.lockTable().indexFor(&Word), Old});
+      size_t Index = S.lockTable().indexFor(&Word);
+      Acquired.push_back(AcquiredLock{Index, Old});
+      if (TxAccessObserver *A = S.accessObserver())
+        A->onLockAcquire(Thread, Index);
       break;
     }
   }
+  if (TxAccessObserver *A = S.accessObserver())
+    A->onTxStore(Thread, &Word, Value);
   UndoLog.emplace_back(&Word, Word.load(std::memory_order_relaxed));
   Word.store(Value, std::memory_order_release);
 }
@@ -164,6 +183,8 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
         break;
     }
     Acquired.push_back(AcquiredLock{Index, Old});
+    if (TxAccessObserver *A = S.accessObserver())
+      A->onLockAcquire(Thread, Index);
   }
 
   // preLockWordFor binary-searches Acquired by stripe address; eager
@@ -178,7 +199,9 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
 
   // TL2 optimization: if no commit interleaved between our rv sample and
   // our clock advance, the read set cannot have changed.
-  if (Wv != Rv + 1) {
+  // (Fault.SkipReadValidation is the self-test mutant that omits this
+  // revalidation entirely; see Tl2FaultInjection.)
+  if (Wv != Rv + 1 && !S.config().Fault.SkipReadValidation) {
     for (const std::atomic<uint64_t> *Stripe : ReadSet) {
       uint64_t Word = Stripe->load(std::memory_order_acquire);
       StripeState State = LockTable::decode(Word);
@@ -205,12 +228,25 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
   // victim observing version Wv can already resolve the committer.
   S.commitRing().record(Wv, Self);
 
-  for (const WriteEntry &E : WriteLog)
-    E.Addr->store(E.Value, std::memory_order_release);
-  for (const AcquiredLock &L : Acquired)
-    S.lockTable().stripeAt(L.StripeIndex)
-        .store(LockTable::encodeVersion(Wv), std::memory_order_release);
-  Acquired.clear();
+  if (S.config().Fault.TornVersionPublish) {
+    // Self-test mutant: release the locks at the new version *before*
+    // writing the data back, with a yield in between to widen the window
+    // in which readers validate new-version stripes over old data.
+    for (const AcquiredLock &L : Acquired)
+      S.lockTable().stripeAt(L.StripeIndex)
+          .store(LockTable::encodeVersion(Wv), std::memory_order_release);
+    std::this_thread::yield();
+    for (const WriteEntry &E : WriteLog)
+      E.Addr->store(E.Value, std::memory_order_release);
+    Acquired.clear();
+  } else {
+    for (const WriteEntry &E : WriteLog)
+      E.Addr->store(E.Value, std::memory_order_release);
+    for (const AcquiredLock &L : Acquired)
+      S.lockTable().stripeAt(L.StripeIndex)
+          .store(LockTable::encodeVersion(Wv), std::memory_order_release);
+    Acquired.clear();
+  }
 
   Shard->recordCommit(PriorAborts, /*ReadOnly=*/false);
   if (TxEventObserver *Obs = S.observer())

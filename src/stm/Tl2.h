@@ -83,6 +83,22 @@ enum class BackoffKind : uint8_t {
   Exponential,
 };
 
+/// Deliberately broken STM behavior for the correctness harness's
+/// mutation self-test (src/check/, tests/check_test.cpp): each knob
+/// disables one safety mechanism so the history checkers can prove they
+/// flag the resulting executions. Consulted only on the commit path.
+/// Never enable outside the self-test.
+struct Tl2FaultInjection {
+  /// Skip commit-time read-set validation: a commit that interleaved
+  /// after this attempt's reads goes undetected (lost updates, stale
+  /// reads entering committed state).
+  bool SkipReadValidation = false;
+  /// Publish the new stripe versions (releasing the commit locks) before
+  /// writing the write-set values back: readers can validate a stripe at
+  /// the new version while still observing the old data.
+  bool TornVersionPublish = false;
+};
+
 /// Construction-time configuration of a Tl2Stm runtime.
 struct Tl2Config {
   unsigned LockTableBits = 20;
@@ -102,6 +118,8 @@ struct Tl2Config {
   /// Off by default so microbenchmarks measure bare STM cost; the
   /// experiment harness turns it on (see core/Runner.h).
   bool TrackAttemptLatency = false;
+  /// Fault injection for the checker self-test; all off by default.
+  Tl2FaultInjection Fault;
 };
 
 /// One STM runtime instance: the shared state (clock, lock table, ring)
@@ -128,6 +146,12 @@ public:
   /// transactions are running.
   void setContentionManager(ContentionManager *M) { Cm = M; }
 
+  /// Installs \p Obs as the per-access observer (nullptr to disable,
+  /// the default). Must not be called while transactions are running.
+  /// With no observer the hot path pays one null test per access; see
+  /// TxAccessObserver.
+  void setAccessObserver(TxAccessObserver *Obs) { AccessObs = Obs; }
+
   const Tl2Config &config() const { return Cfg; }
   LockTable &lockTable() { return Locks; }
   VersionClock &clock() { return Clock; }
@@ -135,6 +159,7 @@ public:
   TxEventObserver *observer() const { return Observer; }
   StartGate *gate() const { return Gate; }
   ContentionManager *contentionManager() const { return Cm; }
+  TxAccessObserver *accessObserver() const { return AccessObs; }
   /// Sharded per-thread telemetry (see stm/StatsShard.h). Workers touch
   /// only their own shard; aggregate() after the run for exact totals.
   Tl2Stats &stats() { return Counters; }
@@ -148,6 +173,7 @@ private:
   TxEventObserver *Observer = nullptr;
   StartGate *Gate = nullptr;
   ContentionManager *Cm = nullptr;
+  TxAccessObserver *AccessObs = nullptr;
   Tl2Stats Counters;
 };
 

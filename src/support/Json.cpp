@@ -188,10 +188,26 @@ private:
     if (Pos >= S.size())
       return false;
     switch (S[Pos]) {
-    case '{':
-      return parseObject(Out);
-    case '[':
-      return parseArray(Out);
+    case '{': {
+      // Bound recursion: the parser descends once per nesting level, so
+      // adversarial inputs like 100k opening brackets would otherwise
+      // overflow the stack. Telemetry documents are a handful of levels
+      // deep; reject instead of crashing.
+      if (Depth >= MaxDepth)
+        return false;
+      ++Depth;
+      bool Ok = parseObject(Out);
+      --Depth;
+      return Ok;
+    }
+    case '[': {
+      if (Depth >= MaxDepth)
+        return false;
+      ++Depth;
+      bool Ok = parseArray(Out);
+      --Depth;
+      return Ok;
+    }
     case '"':
       Out.K = JsonValue::Kind::String;
       return parseString(Out.Str);
@@ -378,8 +394,11 @@ private:
     return true;
   }
 
+  static constexpr unsigned MaxDepth = 128;
+
   std::string_view S;
   size_t Pos = 0;
+  unsigned Depth = 0;
 };
 
 } // namespace

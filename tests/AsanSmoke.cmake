@@ -1,0 +1,53 @@
+# Configures, builds, and runs an Address+UndefinedBehaviorSanitizer smoke
+# in a dedicated sub-build (-DGSTM_ENABLE_ASAN=ON). Invoked by ctest via
+# the `asan_smoke` test registered in tests/CMakeLists.txt:
+#
+#   cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<build>/asan-smoke -P AsanSmoke.cmake
+#
+# The smoke focuses on the allocation-heavy paths: the TL2 read/write
+# sets and lock table, and the check-subsystem fuzzer, which drives all
+# four STM backends through randomized transaction mixes (so use-after-
+# free or UB in any engine's hot path trips the sanitizer). Any report
+# makes the instrumented binary exit non-zero and fails the test.
+
+if(NOT SOURCE_DIR OR NOT BUILD_DIR)
+  message(FATAL_ERROR
+      "usage: cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<dir> -P AsanSmoke.cmake")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DGSTM_ENABLE_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  RESULT_VARIABLE ConfigureRc)
+if(NOT ConfigureRc EQUAL 0)
+  message(FATAL_ERROR "asan sub-build configure failed (${ConfigureRc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
+          --target tl2_test check_fuzz
+  RESULT_VARIABLE BuildRc)
+if(NOT BuildRc EQUAL 0)
+  message(FATAL_ERROR "asan sub-build compile failed (${BuildRc})")
+endif()
+
+# Make the first finding fatal and UBSan reports hard errors, so the exit
+# code reflects them even when the test logic would still pass.
+set(ENV{ASAN_OPTIONS} "halt_on_error=1:detect_leaks=1")
+set(ENV{UBSAN_OPTIONS} "halt_on_error=1:print_stacktrace=1")
+
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/tl2_test
+  RESULT_VARIABLE Tl2Rc)
+if(NOT Tl2Rc EQUAL 0)
+  message(FATAL_ERROR "tl2_test failed under asan (${Tl2Rc})")
+endif()
+
+execute_process(
+  COMMAND ${BUILD_DIR}/tools/check_fuzz --iters=64
+  RESULT_VARIABLE FuzzRc)
+if(NOT FuzzRc EQUAL 0)
+  message(FATAL_ERROR "check_fuzz failed under asan (${FuzzRc})")
+endif()
+
+message(STATUS "asan smoke passed")

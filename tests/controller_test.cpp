@@ -115,6 +115,36 @@ TEST(GuideControllerTest, DisallowedPairHeldUntilForcedRelease) {
   EXPECT_EQ(S.ForcedReleases, 1u);
 }
 
+TEST(GuideControllerTest, ForcedReleaseComesAfterExactlyKRetries) {
+  // The paper's k-retry rule, counted precisely: a thread whose pair
+  // never appears in any high-probability destination of the current
+  // state must re-check the gate exactly MaxGateRetries times — no
+  // fewer (it may not give up early) and no more (it may not spin
+  // beyond k) — before being force-released.
+  Tsa Model = biasedModel();
+  GuidedPolicy Policy(Model, 4.0);
+  GuideConfig Cfg;
+  Cfg.MaxGateRetries = 7;
+  Cfg.GateSleepMicros = 0; // yield-only: retry count is what matters
+  GuideController Controller(Policy, Cfg);
+  Controller.onCommit(CommitEvent{0, 0, 1, 0}); // current = A
+
+  // Pair (3,4) is only in rare destination D, which the bias threshold
+  // prunes; with no concurrent commits the state never changes, so the
+  // hold can only end through the retry bound.
+  Controller.onTxStart(/*Thread=*/4, /*Tx=*/3);
+  GuideStats S = Controller.stats();
+  EXPECT_EQ(S.Holds, 1u);
+  EXPECT_EQ(S.GateRetries, 7u) << "exactly k re-checks, then release";
+  EXPECT_EQ(S.ForcedReleases, 1u);
+
+  // A second gated start doubles the retry count: the counter is
+  // cumulative across holds, not a per-hold high-water mark.
+  Controller.onTxStart(/*Thread=*/4, /*Tx=*/3);
+  EXPECT_EQ(Controller.stats().GateRetries, 14u);
+  EXPECT_EQ(Controller.stats().ForcedReleases, 2u);
+}
+
 TEST(GuideControllerTest, HeldThreadReleasedByStateChange) {
   Tsa Model = biasedModel();
   GuidedPolicy Policy(Model, 4.0);

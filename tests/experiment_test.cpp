@@ -15,9 +15,13 @@
 
 #include "core/Experiment.h"
 
+#include "core/Analyzer.h"
+#include "core/Trace.h"
+#include "core/Tsa.h"
 #include "stamp/Kmeans.h"
 #include "stamp/Registry.h"
 #include "stamp/Ssca2.h"
+#include "support/SplitMix64.h"
 #include "synquake/Experiment.h"
 
 #include <gtest/gtest.h>
@@ -74,18 +78,64 @@ TEST(ExperimentTest, GuidedRunsRemainCorrectAcrossWorkloads) {
 TEST(ExperimentTest, Ssca2ModelRejectedByAnalyzer) {
   // The paper's analyzer rejects ssca2 (Table I / Figure 8): with
   // near-zero aborts its model degenerates to a handful of
-  // singleton-commit states, "eliminating any scope for guidance".
+  // singleton-commit states, "eliminating any scope for guidance". Only
+  // the *verdict* is asserted on the live run: the state count itself
+  // wobbles with host load (overload adds rare abort tuples — observed up
+  // to ~37 at 8 threads), which made any live numeric bound flaky. The
+  // tight state-count bound lives in Ssca2ShapedTraceStaysWithinStateBound
+  // below, on a fixed-seed trace where it is deterministic.
   Ssca2Workload W(Ssca2Params::forSize(SizeClass::Small));
   ExperimentConfig Cfg = quickConfig(8);
   ExperimentResult R = runExperiment(W, Cfg);
-  // Bound matches the analyzer's own MinStates = 6 * Threads rejection
-  // threshold. A tighter 4 * Threads bound flaked when the host was
-  // loaded: overload adds a few rare abort tuples (observed up to ~37 at
-  // 8 threads) without changing the verdict.
-  EXPECT_LT(R.Model.numStates(), 6u * Cfg.Threads)
-      << "ssca2 states should be ~one singleton tuple per thread";
   EXPECT_FALSE(R.Report.Optimizable);
   EXPECT_FALSE(R.GuidedRan);
+}
+
+TEST(ExperimentTest, Ssca2ShapedTraceStaysWithinStateBound) {
+  // Deterministic re-statement of the 4 * Threads bound the live ssca2
+  // test used to carry: a fixed-seed trace with ssca2's measured shape —
+  // every thread committing at its one hot site with a conflict rate
+  // under 0.5% (workloads_test measures ssca2-small at < 0.5%) — must
+  // collapse to about one singleton tuple per thread. If groupTuples or
+  // the Tsa ever start minting extra states from such a trace (e.g. by
+  // splitting tuples on read-only commits), this catches it without any
+  // scheduling noise.
+  constexpr unsigned Threads = 8;
+  constexpr unsigned CommitsPerThread = 500;
+  SplitMix64 Rng(0x55ca2);
+  std::vector<TraceEvent> Trace;
+  uint64_t Seq = 0, Version = 0;
+  for (unsigned Round = 0; Round < CommitsPerThread; ++Round)
+    for (unsigned T = 0; T < Threads; ++T) {
+      // ~0.3% of commits are preceded by a conflict abort on a
+      // neighbouring thread, matching the measured near-zero abort rate.
+      if (Rng.nextDouble() < 0.003) {
+        TraceEvent A{};
+        A.Seq = Seq++;
+        A.Thread = static_cast<ThreadId>((T + 1) % Threads);
+        A.Tx = 0;
+        A.IsCommit = false;
+        Trace.push_back(A);
+      }
+      TraceEvent C{};
+      C.Seq = Seq++;
+      C.Version = ++Version;
+      C.Thread = static_cast<ThreadId>(T);
+      C.Tx = 0;
+      C.IsCommit = true;
+      Trace.push_back(C);
+    }
+
+  Tsa Model;
+  Model.addRun(groupTuples(Trace, Grouping::Sequence));
+  EXPECT_LT(Model.numStates(), 4u * Threads)
+      << "ssca2-shaped trace should be ~one singleton tuple per thread";
+
+  // And the analyzer must reject it, as runExperiment does at this
+  // thread count (Experiment.cpp defaults MinStates to 6 * Threads).
+  AnalyzerConfig AC;
+  AC.MinStates = 6 * Threads;
+  EXPECT_FALSE(analyzeModel(Model, AC).Optimizable);
 }
 
 TEST(ExperimentTest, KmeansModelAcceptedByAnalyzer) {

@@ -162,6 +162,108 @@ TEST(ReplayTest, ReplayedRunIsFullyDeterministicTwice) {
       << "two replays of one schedule must be identical";
 }
 
+TEST(ReplayTest, ScheduleLongerThanRunReleasesAllGatedThreads) {
+  // Regression for the replay-divergence edge case: a schedule recorded
+  // from a *longer* run than the one being replayed. After thread 0's 10
+  // commits consume the first 10 schedule entries, the cursor points at
+  // an entry ((0,0) again) that will never commit — threads 1 and 2 must
+  // all be force-released after MaxGateRetries re-checks instead of
+  // spinning at the gate forever.
+  std::vector<TxThreadPair> Schedule;
+  Schedule.insert(Schedule.end(), 20, packPair(0, 0));
+  Schedule.insert(Schedule.end(), 10, packPair(1, 1));
+  Schedule.insert(Schedule.end(), 10, packPair(2, 2));
+
+  ReplayConfig RCfg;
+  RCfg.MaxGateRetries = 3;
+  Tl2Stm Stm;
+  TVar<uint64_t> Counter{0};
+  ReplayGate Gate(Schedule, RCfg);
+  Stm.setGate(&Gate);
+  Stm.setObserver(&Gate);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 3; ++T)
+    Workers.emplace_back([&, T] {
+      Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+      for (unsigned I = 0; I < 10; ++I)
+        Txn.run(static_cast<TxId>(T),
+                [&](Tl2Txn &Tx) { Tx.store(Counter, Tx.load(Counter) + 1); });
+    });
+  for (auto &W : Workers)
+    W.join(); // joining at all is the point: nobody may hang at the gate
+
+  EXPECT_EQ(Counter.loadDirect(), 30u);
+  // Thread 0's commits are the only ones the schedule expects, so the
+  // cursor stops exactly where the shorter run ran out of them; threads
+  // 1 and 2 were released by divergence on every one of their starts
+  // (aborted re-starts can add more).
+  EXPECT_EQ(Gate.cursor(), 10u);
+  EXPECT_GE(Gate.divergences(), 20u);
+}
+
+TEST(ReplayTest, ReplayProducesExactlyOneTtsSequence) {
+  // The paper's framing of full determinism (DeSTM): a replayed run
+  // exercises exactly one thread-transactional-state sequence. With zero
+  // divergences the gate admits one transaction at a time, so a replay
+  // has no aborts and its TTS sequence is the schedule itself, tuple for
+  // tuple — and two replays of the same schedule agree exactly.
+  Tl2Config Cfg;
+  Cfg.PreemptShift = 5;
+  std::vector<TxThreadPair> Schedule;
+  {
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> Counter{0};
+    CommitRecorder Recorder;
+    Schedule = runCounter(Stm, 3, 25, Counter, &Recorder);
+  }
+
+  auto ReplayTts = [&] {
+    Tl2Stm Stm(Cfg);
+    TVar<uint64_t> Counter{0};
+    ReplayGate Gate(Schedule);
+    TraceCollector Collector(3);
+    struct Tee : TxEventObserver {
+      TxEventObserver *A, *B;
+      void onCommit(const CommitEvent &E) override {
+        A->onCommit(E);
+        B->onCommit(E);
+      }
+      void onAbort(const AbortEvent &E) override {
+        A->onAbort(E);
+        B->onAbort(E);
+      }
+    } Observer;
+    Observer.A = &Gate;
+    Observer.B = &Collector;
+    Stm.setGate(&Gate);
+    Stm.setObserver(&Observer);
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < 3; ++T)
+      Workers.emplace_back([&, T] {
+        Tl2Txn Txn(Stm, static_cast<ThreadId>(T));
+        for (unsigned I = 0; I < 25; ++I)
+          Txn.run(static_cast<TxId>(T), [&](Tl2Txn &Tx) {
+            Tx.store(Counter, Tx.load(Counter) + 1);
+          });
+      });
+    for (auto &W : Workers)
+      W.join();
+    EXPECT_EQ(Gate.divergences(), 0u);
+    return groupTuples(Collector.takeTrace(), Grouping::Sequence);
+  };
+
+  std::vector<StateTuple> First = ReplayTts();
+  ASSERT_EQ(First.size(), Schedule.size());
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_EQ(First[I].Commit, Schedule[I]);
+    EXPECT_TRUE(First[I].Aborts.empty())
+        << "a divergence-free replay is serial and cannot abort";
+  }
+  EXPECT_EQ(ReplayTts(), First)
+      << "two replays must yield the one recorded TTS sequence";
+}
+
 TEST(ReplayTest, DivergentScheduleStillMakesProgress) {
   // A nonsense schedule (pairs that never run) must not deadlock: every
   // start is force-released after MaxGateRetries.

@@ -7,6 +7,7 @@
 
 #include "support/Barrier.h"
 #include "support/Ids.h"
+#include "support/Json.h"
 #include "support/Options.h"
 #include "support/SplitMix64.h"
 #include "support/Stats.h"
@@ -224,4 +225,87 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_LT(Elapsed, 5.0);
   T.reset();
   EXPECT_LT(T.elapsedSeconds(), 0.5);
+}
+
+// Error paths of the telemetry JSON parser: tools load model/stats
+// documents from disk, so hostile or truncated input must be rejected
+// (std::nullopt), never crash the process.
+
+TEST(JsonParserTest, MalformedEscapesRejected) {
+  EXPECT_FALSE(parseJson("\"\\x\"").has_value());     // unknown escape
+  EXPECT_FALSE(parseJson("\"\\u12\"").has_value());   // short \u
+  EXPECT_FALSE(parseJson("\"\\u12G4\"").has_value()); // non-hex digit
+  EXPECT_FALSE(parseJson("\"\\").has_value());        // backslash at EOF
+  EXPECT_FALSE(parseJson("{\"k\\\": 1}").has_value()); // escape eats quote
+  // Well-formed escapes still round-trip.
+  auto Ok = parseJson("\"a\\n\\t\\\\\\\"\\u0041\"");
+  ASSERT_TRUE(Ok.has_value());
+  EXPECT_EQ(Ok->Str, "a\n\t\\\"A");
+}
+
+TEST(JsonParserTest, TruncatedInputsRejected) {
+  const std::string Doc =
+      "{\"telemetry\": {\"commits\": 12, \"aborts\": [1, 2.5e3, -4]}, "
+      "\"tag\": \"run\\u0031\"}";
+  ASSERT_TRUE(parseJson(Doc).has_value());
+  // No proper prefix of an object document is a complete document; every
+  // one must be rejected gracefully.
+  for (size_t Len = 0; Len < Doc.size(); ++Len)
+    EXPECT_FALSE(parseJson(std::string_view(Doc).substr(0, Len)).has_value())
+        << "prefix length " << Len;
+}
+
+TEST(JsonParserTest, DeepNestingRejectedWithoutCrash) {
+  // Within the parser's recursion bound: fine.
+  std::string Shallow(100, '[');
+  Shallow.append(100, ']');
+  EXPECT_TRUE(parseJson(Shallow).has_value());
+  // Past the bound (even a 100k-bracket bomb): rejected, not a stack
+  // overflow.
+  std::string Bomb(100000, '[');
+  EXPECT_FALSE(parseJson(Bomb).has_value());
+  std::string Closed(5000, '[');
+  Closed.append(5000, ']');
+  EXPECT_FALSE(parseJson(Closed).has_value());
+  std::string Mixed;
+  for (int I = 0; I < 50000; ++I)
+    Mixed += "[{\"k\":";
+  EXPECT_FALSE(parseJson(Mixed).has_value());
+}
+
+TEST(JsonParserTest, DuplicateKeysNormalizeToFirst) {
+  // The writer never emits duplicates; on input the parser keeps all
+  // members and find() resolves to the first, so duplicate keys are
+  // normalized rather than being an error or a crash.
+  auto Doc = parseJson("{\"k\": 1, \"k\": 2, \"other\": 3}");
+  ASSERT_TRUE(Doc.has_value());
+  ASSERT_NE(Doc->find("k"), nullptr);
+  EXPECT_EQ(Doc->find("k")->asU64(), 1u);
+  EXPECT_EQ(Doc->Members.size(), 3u);
+}
+
+TEST(JsonParserTest, SeededGarbageNeverCrashes) {
+  // Fuzz-ish sweep: random strings over a JSON-flavoured alphabet plus
+  // random corruptions of a valid document. The parser must terminate
+  // with *some* verdict on each; the assertions only consume the result.
+  const std::string Alphabet = "{}[]\",:.\\eE+-0123456789truefalsn u\t\n";
+  SplitMix64 Rng(0x15eed);
+  size_t Accepted = 0;
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    std::string Input;
+    size_t Len = Rng.nextBounded(64);
+    for (size_t I = 0; I < Len; ++I)
+      Input += Alphabet[Rng.nextBounded(Alphabet.size())];
+    Accepted += parseJson(Input).has_value();
+  }
+  const std::string Valid =
+      "{\"a\": [1, 2, {\"b\": \"c\\n\"}], \"d\": -1.5e2, \"e\": null}";
+  for (int Iter = 0; Iter < 2000; ++Iter) {
+    std::string Input = Valid;
+    Input[Rng.nextBounded(Input.size())] =
+        Alphabet[Rng.nextBounded(Alphabet.size())];
+    Accepted += parseJson(Input).has_value();
+  }
+  // Some corruptions (e.g. digit for digit) stay valid; most don't.
+  EXPECT_LT(Accepted, 4000u);
 }

@@ -1,0 +1,128 @@
+//===- tools/check_fuzz.cpp - STM correctness fuzzer ----------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Schedule-perturbation fuzzer over the STM backends (src/check/):
+//
+//   check_fuzz [--iters=N] [--seed-base=S] [--backend=all|tl2-lazy|
+//              tl2-eager|libtm|ref] [--threads=T] [--txns=K] [--vars=V]
+//   check_fuzz --seed=S [--backend=B]       # reproduce one seed
+//   check_fuzz --smoke                      # CI preset: 1024 iterations
+//
+// Each iteration expands a seed into a randomized transactional workload,
+// runs it under the selected backend(s) with seeded schedule perturbation,
+// records the full history, and fails if the opacity/serializability
+// checkers object, the final state deviates from the analytic expectation,
+// backends diverge from each other, or lock residue survives quiescence.
+//
+// Every failure prints the exact reproduction command; exit status is the
+// number of failing seeds (capped at 125).
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Fuzz.h"
+#include "support/Options.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace gstm;
+
+int main(int Argc, char **Argv) {
+  Options Opts = Options::parse(Argc, Argv);
+
+  const bool Smoke = Opts.getBool("smoke", false);
+  const uint64_t SeedBase =
+      static_cast<uint64_t>(Opts.getInt("seed-base", 1));
+  const uint64_t Iters = static_cast<uint64_t>(
+      Opts.getInt("iters", Smoke ? 1024 : 256));
+  const std::string BackendName = Opts.getString("backend", "all");
+  const bool Verbose = Opts.getBool("verbose", false);
+
+  FuzzConfig Cfg;
+  Cfg.Threads = static_cast<unsigned>(Opts.getInt("threads", Cfg.Threads));
+  Cfg.TxnsPerThread =
+      static_cast<unsigned>(Opts.getInt("txns", Cfg.TxnsPerThread));
+  Cfg.Vars = static_cast<unsigned>(Opts.getInt("vars", Cfg.Vars));
+  Cfg.MaxOpsPerTxn =
+      static_cast<unsigned>(Opts.getInt("ops", Cfg.MaxOpsPerTxn));
+  Cfg.PreemptShift =
+      static_cast<unsigned>(Opts.getInt("preempt-shift", Cfg.PreemptShift));
+  Cfg.PerturbShift =
+      static_cast<unsigned>(Opts.getInt("perturb-shift", Cfg.PerturbShift));
+  // Fault injection, for watching the checkers catch a broken STM by hand
+  // (the mutation self-test in tests/check_test.cpp automates this).
+  Cfg.Fault.SkipReadValidation = Opts.getBool("inject-skip-validation", false);
+  Cfg.Fault.TornVersionPublish = Opts.getBool("inject-torn-publish", false);
+
+  FuzzBackend Only = FuzzBackend::Tl2Lazy;
+  const bool All = BackendName == "all";
+  if (!All && !fuzzBackendFromName(BackendName, Only)) {
+    std::fprintf(stderr,
+                 "check_fuzz: unknown --backend=%s (want all, tl2-lazy, "
+                 "tl2-eager, libtm or ref)\n",
+                 BackendName.c_str());
+    return 2;
+  }
+
+  uint64_t First = SeedBase, Count = Iters;
+  if (Opts.has("seed")) {
+    First = static_cast<uint64_t>(Opts.getInt("seed", 1));
+    Count = 1;
+  }
+
+  uint64_t Failures = 0, Attempts = 0, Commits = 0, Yields = 0;
+  for (uint64_t I = 0; I < Count; ++I) {
+    const uint64_t Seed = First + I;
+    if (All) {
+      DifferentialResult D = runDifferential(Seed, Cfg);
+      for (const auto &[B, R] : D.PerBackend) {
+        Attempts += R.Attempts;
+        Commits += R.Committed;
+        Yields += R.PerturbYields;
+        if (Verbose || !R.passed())
+          std::printf("seed %llu %-9s %s%s%s\n",
+                      static_cast<unsigned long long>(Seed),
+                      fuzzBackendName(B), R.passed() ? "ok" : "FAIL: ",
+                      R.passed() ? "" : R.Error.c_str(),
+                      R.Check.ok() ? "" : " [checker non-Ok]");
+      }
+      if (!D.passed()) {
+        ++Failures;
+        std::printf("FAIL seed %llu: %s\n  repro: check_fuzz --seed=%llu\n",
+                    static_cast<unsigned long long>(Seed), D.Error.c_str(),
+                    static_cast<unsigned long long>(Seed));
+      }
+    } else {
+      FuzzRunResult R = runFuzzIteration(Seed, Only, Cfg);
+      Attempts += R.Attempts;
+      Commits += R.Committed;
+      Yields += R.PerturbYields;
+      if (!R.passed()) {
+        ++Failures;
+        std::printf(
+            "FAIL seed %llu (%s): %s\n"
+            "  repro: check_fuzz --seed=%llu --backend=%s\n",
+            static_cast<unsigned long long>(Seed), fuzzBackendName(Only),
+            R.Error.c_str(), static_cast<unsigned long long>(Seed),
+            fuzzBackendName(Only));
+      } else if (Verbose) {
+        std::printf("seed %llu %s ok (%zu attempts, %zu commits)\n",
+                    static_cast<unsigned long long>(Seed),
+                    fuzzBackendName(Only), R.Attempts, R.Committed);
+      }
+    }
+  }
+
+  std::printf("check_fuzz: %llu seed(s), backend %s: %llu failure(s); "
+              "%llu attempts / %llu commits, %llu injected yields\n",
+              static_cast<unsigned long long>(Count), BackendName.c_str(),
+              static_cast<unsigned long long>(Failures),
+              static_cast<unsigned long long>(Attempts),
+              static_cast<unsigned long long>(Commits),
+              static_cast<unsigned long long>(Yields));
+  return Failures > 125 ? 125 : static_cast<int>(Failures);
+}
