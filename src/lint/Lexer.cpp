@@ -1,0 +1,264 @@
+//===- lint/Lexer.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lexer.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+using namespace gstm;
+using namespace gstm::lint;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// Multi-character punctuators, longest first within each leading char.
+/// Only operators the analyzer distinguishes need to be here; anything
+/// else falls back to a single character, which is fine for scanning.
+constexpr std::array<std::string_view, 25> MultiPuncts = {
+    "...", "->*", "<<=", ">>=", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=",  "^=",  "++",  "--",  ".*"};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Src) : Src(Src) {}
+
+  TokenStream run() {
+    while (Pos < Src.size())
+      next();
+    Out.Tokens.push_back({Token::Kind::End, {}, Line});
+    return std::move(Out);
+  }
+
+private:
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+
+  void advance() {
+    if (Src[Pos] == '\n')
+      ++Line;
+    ++Pos;
+  }
+
+  void emit(Token::Kind K, size_t Begin, uint32_t AtLine) {
+    Out.Tokens.push_back({K, Src.substr(Begin, Pos - Begin), AtLine});
+  }
+
+  void next() {
+    char C = peek();
+    if (C == '\n' || std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      return;
+    }
+    if (C == '/' && peek(1) == '/') {
+      lineComment();
+      return;
+    }
+    if (C == '/' && peek(1) == '*') {
+      blockComment();
+      return;
+    }
+    // Preprocessor directive: only when '#' is the first non-whitespace
+    // character of the line; consume through any backslash continuations.
+    if (C == '#' && AtLineStart()) {
+      skipDirective();
+      return;
+    }
+    if (isIdentStart(C)) {
+      identifierOrLiteralPrefix();
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)) ||
+        (C == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      number();
+      return;
+    }
+    if (C == '"') {
+      stringLiteral();
+      return;
+    }
+    if (C == '\'') {
+      charLiteral();
+      return;
+    }
+    punct();
+  }
+
+  bool AtLineStart() const {
+    for (size_t I = Pos; I > 0; --I) {
+      char P = Src[I - 1];
+      if (P == '\n')
+        return true;
+      if (P != ' ' && P != '\t')
+        return false;
+    }
+    return true;
+  }
+
+  void lineComment() {
+    uint32_t AtLine = Line;
+    Pos += 2;
+    size_t Begin = Pos;
+    while (Pos < Src.size() && peek() != '\n')
+      advance();
+    Out.Comments.push_back({AtLine, Src.substr(Begin, Pos - Begin)});
+  }
+
+  void blockComment() {
+    uint32_t AtLine = Line;
+    Pos += 2;
+    size_t Begin = Pos;
+    while (Pos < Src.size() && !(peek() == '*' && peek(1) == '/'))
+      advance();
+    Out.Comments.push_back({AtLine, Src.substr(Begin, Pos - Begin)});
+    if (Pos < Src.size())
+      Pos += 2;
+  }
+
+  void skipDirective() {
+    while (Pos < Src.size()) {
+      if (peek() == '\\' && (peek(1) == '\n' ||
+                             (peek(1) == '\r' && peek(2) == '\n'))) {
+        advance(); // backslash
+        while (peek() != '\n' && Pos < Src.size())
+          advance();
+        if (Pos < Src.size())
+          advance(); // the continued newline
+        continue;
+      }
+      if (peek() == '\n')
+        return; // leave the newline for the main loop
+      // Comments may follow a directive on the same line.
+      if (peek() == '/' && peek(1) == '/') {
+        lineComment();
+        return;
+      }
+      if (peek() == '/' && peek(1) == '*') {
+        blockComment();
+        continue;
+      }
+      advance();
+    }
+  }
+
+  void identifierOrLiteralPrefix() {
+    size_t Begin = Pos;
+    uint32_t AtLine = Line;
+    while (isIdentChar(peek()))
+      advance();
+    std::string_view Text = Src.substr(Begin, Pos - Begin);
+    // Raw / prefixed string literals: R"(..)", u8"..", L'x', etc.
+    if (peek() == '"') {
+      if (Text == "R" || Text == "u8R" || Text == "uR" || Text == "UR" ||
+          Text == "LR") {
+        rawString(Begin, AtLine);
+        return;
+      }
+      if (Text == "u8" || Text == "u" || Text == "U" || Text == "L") {
+        stringLiteral(Begin, AtLine);
+        return;
+      }
+    }
+    if (peek() == '\'' &&
+        (Text == "u8" || Text == "u" || Text == "U" || Text == "L")) {
+      charLiteral(Begin, AtLine);
+      return;
+    }
+    emit(Token::Kind::Identifier, Begin, AtLine);
+  }
+
+  void number() {
+    size_t Begin = Pos;
+    uint32_t AtLine = Line;
+    // Good enough for scanning: consume digits, idents (suffixes, hex),
+    // dots, and exponent signs.
+    while (isIdentChar(peek()) || peek() == '.' ||
+           ((peek() == '+' || peek() == '-') &&
+            (Src[Pos - 1] == 'e' || Src[Pos - 1] == 'E' ||
+             Src[Pos - 1] == 'p' || Src[Pos - 1] == 'P')))
+      advance();
+    emit(Token::Kind::Number, Begin, AtLine);
+  }
+
+  void stringLiteral() { stringLiteral(Pos, Line); }
+  void stringLiteral(size_t Begin, uint32_t AtLine) {
+    advance(); // opening quote
+    while (Pos < Src.size() && peek() != '"' && peek() != '\n') {
+      if (peek() == '\\' && Pos + 1 < Src.size())
+        advance();
+      advance();
+    }
+    if (Pos < Src.size() && peek() == '"')
+      advance();
+    emit(Token::Kind::String, Begin, AtLine);
+  }
+
+  void rawString(size_t Begin, uint32_t AtLine) {
+    advance(); // opening quote
+    size_t DelimBegin = Pos;
+    while (Pos < Src.size() && peek() != '(')
+      advance();
+    std::string_view Delim = Src.substr(DelimBegin, Pos - DelimBegin);
+    if (Pos < Src.size())
+      advance(); // '('
+    std::string Close = ")" + std::string(Delim) + "\"";
+    while (Pos < Src.size() &&
+           Src.compare(Pos, Close.size(), Close) != 0)
+      advance();
+    for (size_t I = 0; I < Close.size() && Pos < Src.size(); ++I)
+      advance();
+    emit(Token::Kind::String, Begin, AtLine);
+  }
+
+  void charLiteral() { charLiteral(Pos, Line); }
+  void charLiteral(size_t Begin, uint32_t AtLine) {
+    advance(); // opening quote
+    while (Pos < Src.size() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\' && Pos + 1 < Src.size())
+        advance();
+      advance();
+    }
+    if (Pos < Src.size() && peek() == '\'')
+      advance();
+    emit(Token::Kind::Char, Begin, AtLine);
+  }
+
+  void punct() {
+    size_t Begin = Pos;
+    uint32_t AtLine = Line;
+    std::string_view Rest = Src.substr(Pos);
+    for (std::string_view Op : MultiPuncts) {
+      if (Rest.rfind(Op, 0) == 0) {
+        Pos += Op.size();
+        emit(Token::Kind::Punct, Begin, AtLine);
+        return;
+      }
+    }
+    advance();
+    emit(Token::Kind::Punct, Begin, AtLine);
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+  TokenStream Out;
+};
+
+} // namespace
+
+TokenStream gstm::lint::lex(std::string_view Source) {
+  return Lexer(Source).run();
+}

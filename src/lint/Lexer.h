@@ -1,0 +1,75 @@
+//===- lint/Lexer.h - C++ token stream for stm_lint ----------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free C++ lexer sized for the transaction-safety analyzer
+/// (src/lint/): it produces identifiers, literals and punctuators with
+/// line numbers, strips preprocessor directives, and records comments in
+/// a side channel so the analyzer can honour `// stm-lint: allow(...)`
+/// suppressions and the fixtures' `// expect-diag(...)` annotations.
+///
+/// The lexer is deliberately not a full phase-3 translator: it does not
+/// expand macros, splice trigraphs, or evaluate conditional compilation.
+/// Tokens reference the source buffer via string_view; the buffer must
+/// outlive the stream.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_LINT_LEXER_H
+#define GSTM_LINT_LEXER_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace gstm::lint {
+
+/// One lexical token. Keywords are Identifier tokens; the parser decides
+/// by text.
+struct Token {
+  enum class Kind : uint8_t {
+    Identifier,
+    Number,
+    String, // string literal, including raw strings
+    Char,   // character literal
+    Punct,  // operator / punctuator, longest-match (e.g. "::", "->")
+    End,    // sentinel appended after the last real token
+  };
+
+  Kind K = Kind::End;
+  std::string_view Text;
+  uint32_t Line = 0;
+
+  bool is(Kind Want) const { return K == Want; }
+  bool isPunct(std::string_view P) const {
+    return K == Kind::Punct && Text == P;
+  }
+  bool isIdent(std::string_view Name) const {
+    return K == Kind::Identifier && Text == Name;
+  }
+};
+
+/// A comment, kept out of the token stream. Line is the line the comment
+/// starts on; Text excludes the delimiters (`//`, `/*`, `*/`).
+struct Comment {
+  uint32_t Line = 0;
+  std::string_view Text;
+};
+
+/// The lexed form of one source file.
+struct TokenStream {
+  std::vector<Token> Tokens;   // always ends with one Kind::End token
+  std::vector<Comment> Comments;
+};
+
+/// Lexes \p Source. Never fails: unterminated literals/comments are
+/// closed at end of input, unknown bytes become single-char punctuators.
+TokenStream lex(std::string_view Source);
+
+} // namespace gstm::lint
+
+#endif // GSTM_LINT_LEXER_H

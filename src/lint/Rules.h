@@ -1,0 +1,102 @@
+//===- lint/Rules.h - Transaction-safety rules for stm_lint --------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rule set enforced inside transaction bodies (see DESIGN.md §4e):
+///
+///   R1 naked shared access   — std::atomic / TVar / TObj accessed
+///                              without going through the txn handle
+///   R2 irrevocable operation — heap allocation outside TmPool, I/O,
+///                              sleep, mutex use: cannot be undone when
+///                              the attempt aborts and re-executes
+///   R3 non-determinism       — rand/random_device/clock reads: attempts
+///                              re-execute, so results diverge and TSA
+///                              replay breaks
+///   R4 handle escape         — storing/capturing the Tl2Txn&/LibTxn&
+///                              beyond the transaction body
+///   R5 unsafe callee         — calling a function that (transitively)
+///                              trips R1–R4, without passing the handle
+///   S1 bad suppression       — `// stm-lint: allow(...)` without a
+///                              rationale
+///
+/// scanRange() performs the token-level detection of R1–R4 and records
+/// the call sites the analysis layer resolves for R5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_LINT_RULES_H
+#define GSTM_LINT_RULES_H
+
+#include "lint/Lexer.h"
+
+#include <string>
+#include <vector>
+
+namespace gstm::lint {
+
+enum class Rule : uint8_t {
+  NakedAccess,    // R1
+  Irrevocable,    // R2
+  NonDeterminism, // R3
+  HandleEscape,   // R4
+  UnsafeCallee,   // R5
+  BadSuppression, // S1
+};
+inline constexpr size_t NumRules = 6;
+
+/// Stable diagnostic id ("R1".."R5", "S1").
+const char *ruleId(Rule R);
+
+/// One-line fix hint shown with every diagnostic of the rule.
+const char *ruleHint(Rule R);
+
+/// Parses "R1" etc.; returns false for unknown ids.
+bool ruleFromId(std::string_view Id, Rule &Out);
+
+/// A rule violation found by the token scan, before suppression
+/// processing and call-graph resolution.
+struct RawViolation {
+  Rule R;
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// A call site recorded for R5 resolution.
+struct CallSite {
+  std::string_view Name;
+  uint32_t Line = 0;
+  /// Receiver identifier for `Recv.name(...)` / `Recv->name(...)`, empty
+  /// for free or chained calls.
+  std::string_view Receiver;
+  /// The call's receiver is the transaction handle (sanctioned STM API).
+  bool ReceiverIsHandle = false;
+  /// The handle is forwarded as an argument: transactional context
+  /// propagates and the callee is checked at its own definition.
+  bool HandlePassed = false;
+  /// The call was method-style (had a '.'/'->' receiver).
+  bool MethodStyle = false;
+};
+
+struct ScanResult {
+  std::vector<RawViolation> Violations;
+  std::vector<CallSite> Calls;
+};
+
+/// Token sub-ranges to skip while scanning (nested transaction lambdas,
+/// which are analyzed as their own regions).
+using SkipRanges = std::vector<std::pair<size_t, size_t>>;
+
+/// Scans tokens [Begin, End) as transactional context with handle name
+/// \p Handle (empty when scanning a plain function for its would-be
+/// violations — then every atomic access is naked by definition).
+ScanResult scanRange(const std::vector<Token> &Tokens, size_t Begin,
+                     size_t End, std::string_view Handle,
+                     const SkipRanges &Skip);
+
+} // namespace gstm::lint
+
+#endif // GSTM_LINT_RULES_H

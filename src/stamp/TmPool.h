@@ -48,12 +48,18 @@ public:
   /// transactions), so it terminates loudly rather than corrupting the
   /// heap: speculative readers may already hold indices near the end.
   uint32_t allocate() {
+    // stm-lint: allow(R1) STAMP pool discipline: the bump pointer is
+    // monotonic, so an aborted transaction merely leaks its index — no
+    // rollback is needed and no other txn can observe a torn state.
     uint32_t Index = Next.fetch_add(1, std::memory_order_relaxed);
     if (Index >= CapacityPlusNull) {
+      // stm-lint: allow(R2) exhaustion is a fatal sizing bug; the process
+      // terminates here, so irrevocability is moot.
       std::fprintf(stderr,
                    "fatal: TmPool exhausted (capacity %u); size the pool "
                    "from the workload parameters with abort headroom\n",
                    CapacityPlusNull - 1);
+      // stm-lint: allow(R2) deliberate loud termination on exhaustion.
       std::abort();
     }
     return Index;
@@ -70,6 +76,8 @@ public:
 
   /// Nodes handed out so far.
   uint32_t used() const {
+    // stm-lint: allow(R1) monotonic high-water mark; an approximate read
+    // is fine anywhere, including inside a transaction body.
     return Next.load(std::memory_order_relaxed) - 1;
   }
   uint32_t capacity() const { return CapacityPlusNull - 1; }

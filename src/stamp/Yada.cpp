@@ -33,6 +33,9 @@ YadaParams YadaParams::forSize(SizeClass S) {
 }
 
 uint32_t YadaWorkload::newPoint(double X, double Y) {
+  // stm-lint: allow(R1) same bump-pointer discipline as TmPool::allocate:
+  // aborted refinements leak their point slot, which the capacity budget
+  // absorbs; no transactional rollback of the counter is required.
   uint32_t Index = NumPoints.fetch_add(1, std::memory_order_relaxed);
   assert(Index < PointCapacity && "point pool exhausted");
   Xs[Index] = X;

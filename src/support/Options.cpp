@@ -7,7 +7,10 @@
 
 #include "support/Options.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 using namespace gstm;
 
@@ -15,8 +18,10 @@ Options Options::parse(int Argc, const char *const *Argv) {
   Options Opts;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
-    if (Arg.rfind("--", 0) != 0)
+    if (Arg.rfind("--", 0) != 0) {
+      Opts.Positional.push_back(Arg);
       continue;
+    }
     Arg = Arg.substr(2);
     auto Eq = Arg.find('=');
     if (Eq == std::string::npos)
@@ -25,6 +30,14 @@ Options Options::parse(int Argc, const char *const *Argv) {
       Opts.Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
   }
   return Opts;
+}
+
+std::vector<std::string> Options::keys() const {
+  std::vector<std::string> Out;
+  Out.reserve(Values.size());
+  for (const auto &[K, V] : Values)
+    Out.push_back(K);
+  return Out;
 }
 
 int64_t Options::getInt(const std::string &Key, int64_t Default) const {
@@ -56,4 +69,62 @@ bool Options::getBool(const std::string &Key, bool Default) const {
   if (It == Values.end())
     return Default;
   return It->second != "0" && It->second != "false";
+}
+
+OptionSet::OptionSet(std::string Tool, std::string Banner,
+                     std::vector<OptionSpec> Specs, std::string Positionals)
+    : Tool(std::move(Tool)), Banner(std::move(Banner)),
+      Specs(std::move(Specs)), Positionals(std::move(Positionals)) {}
+
+std::string OptionSet::usage() const {
+  std::ostringstream Out;
+  Out << Tool << " - " << Banner << "\n\nusage: " << Tool << " [options]";
+  if (!Positionals.empty())
+    Out << " " << Positionals;
+  Out << "\n\noptions:\n";
+  size_t Width = 0;
+  auto Render = [](const OptionSpec &S) {
+    std::string Left = "--" + S.Key;
+    if (!S.Value.empty())
+      Left += "=" + S.Value;
+    return Left;
+  };
+  for (const OptionSpec &S : Specs)
+    Width = std::max(Width, Render(S).size());
+  for (const OptionSpec &S : Specs) {
+    std::string Left = Render(S);
+    Out << "  " << Left << std::string(Width - Left.size() + 2, ' ')
+        << S.Help << "\n";
+  }
+  Out << "  --help" << std::string(Width > 6 ? Width - 6 + 2 : 2, ' ')
+      << "show this help\n";
+  return Out.str();
+}
+
+bool OptionSet::validate(const Options &Opts, std::string &Error) const {
+  for (const std::string &K : Opts.keys()) {
+    bool Known = K == "help";
+    for (const OptionSpec &S : Specs)
+      Known = Known || S.Key == K;
+    if (!Known) {
+      Error = "unknown option '--" + K + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+Options OptionSet::parseOrExit(int Argc, const char *const *Argv) const {
+  Options Opts = Options::parse(Argc, Argv);
+  if (Opts.has("help")) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  std::string Error;
+  if (!validate(Opts, Error)) {
+    std::fprintf(stderr, "%s: %s\n\n%s", Tool.c_str(), Error.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  }
+  return Opts;
 }

@@ -18,14 +18,15 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace gstm {
 
 /// Parsed command-line options of the form `--key=value` or bare `--flag`.
 class Options {
 public:
-  /// Parses \p Argv. Unrecognized positional arguments are ignored.
-  /// A bare `--flag` is stored with the value "1".
+  /// Parses \p Argv. Positional (non `--`) arguments are collected in
+  /// order. A bare `--flag` is stored with the value "1".
   static Options parse(int Argc, const char *const *Argv);
 
   /// Returns the value of \p Key, or \p Default when absent/unparsable.
@@ -37,8 +38,50 @@ public:
 
   bool has(const std::string &Key) const { return Values.count(Key) != 0; }
 
+  /// Non-option arguments, in command-line order.
+  const std::vector<std::string> &positionals() const { return Positional; }
+
+  /// Every `--key` that was passed (for spec validation).
+  std::vector<std::string> keys() const;
+
 private:
   std::map<std::string, std::string> Values;
+  std::vector<std::string> Positional;
+};
+
+/// One declared option of a tool's CLI.
+struct OptionSpec {
+  std::string Key;   ///< name without the leading "--"
+  std::string Value; ///< metavariable ("N", "FILE", ...); empty = flag
+  std::string Help;  ///< one-line description
+};
+
+/// Declarative CLI for a tool: generates `--help` text and rejects
+/// unknown options, so every binary shares one argument convention
+/// (`--key=value` / `--flag`) instead of hand-rolled variants.
+class OptionSet {
+public:
+  /// \p Positionals names the positional operands in the usage line
+  /// (e.g. "[paths...]"); empty when the tool takes none.
+  OptionSet(std::string Tool, std::string Banner,
+            std::vector<OptionSpec> Specs, std::string Positionals = "");
+
+  /// Usage text: banner, synopsis, and one line per declared option.
+  std::string usage() const;
+
+  /// True when every `--key` in \p Opts is declared; otherwise fills
+  /// \p Error with the offending key.
+  bool validate(const Options &Opts, std::string &Error) const;
+
+  /// parse() + validate(); prints usage and exits 0 on `--help`, prints
+  /// the error and usage to stderr and exits 2 on an unknown option.
+  Options parseOrExit(int Argc, const char *const *Argv) const;
+
+private:
+  std::string Tool;
+  std::string Banner;
+  std::vector<OptionSpec> Specs;
+  std::string Positionals;
 };
 
 } // namespace gstm

@@ -1,0 +1,36 @@
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the lint
+# subsystem and the tool drivers, using the compile database exported by
+# CMAKE_EXPORT_COMPILE_COMMANDS. Invoked by the lint_clang_tidy ctest:
+#
+#   cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P LintClangTidy.cmake
+#
+# Printing LINT_CLANG_TIDY_SKIPPED makes ctest report the test as
+# skipped (SKIP_REGULAR_EXPRESSION), not failed, so machines without
+# clang-tidy stay green.
+
+find_program(CLANG_TIDY NAMES clang-tidy clang-tidy-20 clang-tidy-19
+                              clang-tidy-18 clang-tidy-17)
+if(NOT CLANG_TIDY)
+  message(STATUS "clang-tidy not on PATH")
+  message(STATUS "LINT_CLANG_TIDY_SKIPPED")
+  return()
+endif()
+
+if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
+  message(STATUS "no compile_commands.json in ${BUILD_DIR}")
+  message(STATUS "LINT_CLANG_TIDY_SKIPPED")
+  return()
+endif()
+
+file(GLOB TIDY_SOURCES
+  "${SOURCE_DIR}/src/lint/*.cpp"
+  "${SOURCE_DIR}/src/support/*.cpp"
+  "${SOURCE_DIR}/tools/*.cpp")
+
+execute_process(
+  COMMAND "${CLANG_TIDY}" --quiet -p "${BUILD_DIR}" ${TIDY_SOURCES}
+  RESULT_VARIABLE TIDY_RC)
+if(NOT TIDY_RC EQUAL 0)
+  message(FATAL_ERROR "clang-tidy reported diagnostics (exit ${TIDY_RC})")
+endif()
+message(STATUS "clang-tidy clean over ${SOURCE_DIR}")

@@ -1,0 +1,35 @@
+// stm_lint fixture: negative control. Everything here follows the
+// transaction discipline, so the file must lint clean — zero
+// expectations, zero diagnostics.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+#include <cstdio>
+
+struct Tl2Stm;
+struct Tl2Txn {
+  template <typename F> void run(unsigned, F &&);
+};
+template <typename T> struct TVar;
+
+std::atomic<unsigned> Stats{0};
+
+unsigned mixBits(unsigned V) { return V ^ (V >> 16); }
+
+/// Transactional context using only the handle API and safe helpers.
+void wellBehaved(Tl2Txn &Tx, TVar<unsigned> &X) {
+  unsigned V = Tx.load(X);
+  Tx.store(X, mixBits(V));
+}
+
+/// Handle-passed callees are checked at their own definition, not at the
+/// call site.
+void delegating(Tl2Txn &Tx, TVar<unsigned> &X) { wellBehaved(Tx, X); }
+
+/// A *driver* takes a descriptor and calls .run() on it; its own body is
+/// not transactional context, so pre/post work is unrestricted.
+void driver(Tl2Txn &Txn, TVar<unsigned> &X) {
+  Stats.fetch_add(1u); // outside any attempt: allowed in a driver
+  Txn.run(0, [&](Tl2Txn &Tx) { wellBehaved(Tx, X); });
+  std::printf("committed\n"); // after the attempt loop: allowed
+}

@@ -1,0 +1,27 @@
+// stm_lint fixture: R1 naked shared access inside transaction bodies.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+// Every line below annotated with expect-diag(<rule>) MUST produce
+// exactly that diagnostic, and no other line may produce any.
+
+#include <atomic>
+
+struct Tl2Stm;
+struct Tl2Txn;
+template <typename T> struct TVar;
+
+std::atomic<unsigned> Counter{0};
+TVar<unsigned> *Shared;
+std::atomic_flag Spin;
+
+void txnBody(Tl2Txn &Tx, TVar<unsigned> &X) {
+  Tx.load(X);                                  // sanctioned: via handle
+  Tx.store(X, 1u);                             // sanctioned: via handle
+  Counter.load();                              // expect-diag(R1)
+  Counter.store(2u);                           // expect-diag(R1)
+  Counter.fetch_add(1u);                       // expect-diag(R1)
+  unsigned Expected = 2u;
+  Counter.compare_exchange_strong(Expected, 3u); // expect-diag(R1)
+  Shared->loadDirect();                        // expect-diag(R1)
+  Shared->storeDirect(4u);                     // expect-diag(R1)
+  Spin.test_and_set();                         // expect-diag(R1)
+}

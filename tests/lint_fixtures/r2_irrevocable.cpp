@@ -1,0 +1,30 @@
+// stm_lint fixture: R2 irrevocable operations inside transaction bodies.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <thread>
+
+struct Tl2Txn;
+struct Node {
+  int V;
+};
+
+std::mutex M;
+
+void txnBody(Tl2Txn &Tx) {
+  Node *N = new Node{1};                       // expect-diag(R2)
+  delete N;                                    // expect-diag(R2)
+  void *P = std::malloc(16);                   // expect-diag(R2)
+  std::free(P);                                // expect-diag(R2)
+  std::printf("inside txn\n");                 // expect-diag(R2)
+  std::cout << "inside txn";                   // expect-diag(R2)
+  std::scoped_lock Guard(M);                   // expect-diag(R2)
+  M.lock();                                    // expect-diag(R2)
+  M.unlock();                                  // expect-diag(R2)
+  std::this_thread::sleep_for(std::chrono::milliseconds(1)); // expect-diag(R2)
+  std::exit(1);                                // expect-diag(R2)
+  (void)Tx;
+}

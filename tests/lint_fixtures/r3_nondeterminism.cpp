@@ -1,0 +1,28 @@
+// stm_lint fixture: R3 non-determinism sources inside transaction bodies.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct Tl2Stm;
+struct Tl2Txn {
+  template <typename F> void run(unsigned, F &&);
+};
+
+void drive(Tl2Stm &Stm) {
+  Tl2Txn Txn;
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    int R = std::rand();                           // expect-diag(R3)
+    std::random_device Rd;                         // expect-diag(R3)
+    auto T0 = std::chrono::steady_clock::now();    // expect-diag(R3)
+    auto T1 = std::chrono::system_clock::now();    // expect-diag(R3)
+    long W = time(nullptr);                        // expect-diag(R3)
+    (void)R;
+    (void)T0;
+    (void)T1;
+    (void)W;
+    (void)Tx;
+  });
+}

@@ -1,0 +1,21 @@
+// stm_lint fixture: R4 transaction handle escaping its body.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <functional>
+
+struct Tl2Txn {
+  template <typename F> void run(unsigned, F &&);
+};
+
+Tl2Txn *Leaked;
+std::function<void()> Deferred;
+
+void drive() {
+  Tl2Txn Txn;
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    Leaked = &Tx;                                // expect-diag(R4)
+    Deferred = [&Tx]() {};                       // expect-diag(R4)
+    auto Ok = [](int V) { return V + 1; };       // fine: no handle capture
+    (void)Ok;
+  });
+}

@@ -1,0 +1,31 @@
+// stm_lint fixture: R5 transactional context calling transaction-unsafe
+// helpers, including through a call chain.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+
+struct Tl2Txn {
+  template <typename F> void run(unsigned, F &&);
+};
+
+std::atomic<unsigned> Hits{0};
+
+unsigned bumpHits() { return Hits.fetch_add(1u); } // unsafe root (R1)
+
+unsigned throughChain() { return bumpHits() + 1u; } // unsafe via call
+
+unsigned pureHelper(unsigned V) { return V * 2654435761u; } // safe
+
+void txnParamContext(Tl2Txn &Tx) {
+  pureHelper(7u);                              // fine: callee is clean
+  bumpHits();                                  // expect-diag(R5)
+  (void)Tx;
+}
+
+void drive() {
+  Tl2Txn Txn;
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    throughChain();                            // expect-diag(R5)
+    (void)Tx;
+  });
+}

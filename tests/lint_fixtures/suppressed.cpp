@@ -1,0 +1,22 @@
+// stm_lint fixture: suppression comments. A rationale-bearing allow()
+// silences its rule; an allow() without a rationale trips S1 (and still
+// suppresses, so the S1 is the only diagnostic from that line).
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+#include <cstdio>
+
+struct Tl2Txn;
+
+std::atomic<unsigned> HighWater{0};
+
+void txnBody(Tl2Txn &Tx) {
+  // stm-lint: allow(R1) monotonic watermark; racy reads are fine here.
+  HighWater.fetch_add(1u);
+  // stm-lint: allow(R2) the rationale may wrap onto the following
+  // comment line and must still reach the code underneath.
+  std::printf("suppressed\n");
+  /* expect-diag(S1) */ // stm-lint: allow(R2)
+  std::printf("suppressed but missing a rationale\n");
+  (void)Tx;
+}

@@ -1,0 +1,199 @@
+//===- tests/lint_unit_test.cpp - stm_lint analyzer unit tests ------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// White-box coverage of the lint pipeline layers: lexer token/comment
+// recovery, structural function/region extraction, rule scanning, call
+// graph propagation, and suppression handling. The end-to-end behavior
+// over realistic sources lives in tests/lint_fixtures/ (lint_test).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lexer.h"
+#include "lint/Lint.h"
+#include "lint/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace gstm::lint;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(LintLexer, TokensCommentsAndLines) {
+  TokenStream TS = lex("int x = 1; // trailing\n/* block */ y += 2;\n");
+  ASSERT_FALSE(TS.Tokens.empty());
+  EXPECT_EQ(TS.Tokens.front().Text, "int");
+  EXPECT_EQ(TS.Tokens.front().Line, 1u);
+  EXPECT_EQ(TS.Tokens.back().K, Token::Kind::End);
+
+  ASSERT_EQ(TS.Comments.size(), 2u);
+  EXPECT_EQ(TS.Comments[0].Line, 1u);
+  EXPECT_EQ(TS.Comments[0].Text, " trailing");
+  EXPECT_EQ(TS.Comments[1].Line, 2u);
+
+  auto PlusEq = std::find_if(TS.Tokens.begin(), TS.Tokens.end(),
+                             [](const Token &T) { return T.Text == "+="; });
+  ASSERT_NE(PlusEq, TS.Tokens.end());
+  EXPECT_EQ(PlusEq->Line, 2u);
+}
+
+TEST(LintLexer, DirectivesAndStringsAreOpaque) {
+  TokenStream TS = lex("#include <new>\n"
+                       "const char *S = \"malloc( rand(\";\n"
+                       "auto R = R\"(delete X.load())\";\n");
+  for (const Token &T : TS.Tokens) {
+    EXPECT_NE(T.Text, "include");
+    EXPECT_NE(T.Text, "malloc");
+    EXPECT_NE(T.Text, "delete");
+  }
+  size_t Strings = 0;
+  for (const Token &T : TS.Tokens)
+    Strings += T.K == Token::Kind::String;
+  EXPECT_EQ(Strings, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural parser
+//===----------------------------------------------------------------------===//
+
+TEST(LintParser, FindsFunctionsMethodsAndTxnParams) {
+  TokenStream TS = lex("int add(int A, int B) { return A + B; }\n"
+                       "struct Widget {\n"
+                       "  void poke(Tl2Txn &Tx) { Tx.load(V); }\n"
+                       "};\n"
+                       "void Widget::other() {}\n");
+  ParsedFile PF = parse(TS);
+  ASSERT_EQ(PF.Functions.size(), 3u);
+
+  EXPECT_EQ(PF.Functions[0].Qualified, "add");
+  EXPECT_FALSE(PF.Functions[0].IsMethod);
+  EXPECT_FALSE(PF.Functions[0].HasTxnParam);
+
+  EXPECT_EQ(PF.Functions[1].Qualified, "Widget::poke");
+  EXPECT_TRUE(PF.Functions[1].IsMethod);
+  EXPECT_TRUE(PF.Functions[1].HasTxnParam);
+  EXPECT_EQ(PF.Functions[1].Handle, "Tx");
+
+  EXPECT_EQ(PF.Functions[2].Qualified, "Widget::other");
+  EXPECT_TRUE(PF.Functions[2].IsMethod);
+}
+
+TEST(LintParser, FindsTxnLambdas) {
+  TokenStream TS = lex("void f(Tl2Txn &Txn) {\n"
+                       "  Txn.run(0, [&](Tl2Txn &Tx) { Tx.store(X, 1); });\n"
+                       "  auto L = [](int V) { return V; };\n"
+                       "}\n");
+  ParsedFile PF = parse(TS);
+  ASSERT_EQ(PF.TxnLambdas.size(), 1u);
+  EXPECT_EQ(PF.TxnLambdas[0].Handle, "Tx");
+  EXPECT_EQ(PF.TxnLambdas[0].Line, 2u);
+  EXPECT_EQ(PF.TxnLambdas[0].EnclosingFunction, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end pipeline on synthetic sources
+//===----------------------------------------------------------------------===//
+
+LintResult lintOne(std::string Text) {
+  return lintSources({{"t.cpp", std::move(Text)}});
+}
+
+TEST(LintPipeline, DriverBodiesAreNotRegions) {
+  LintResult R = lintOne("void drive(Tl2Txn &Txn) {\n"
+                         "  printf(\"pre\\n\");\n" // driver: allowed
+                         "  Txn.run(0, [&](Tl2Txn &Tx) { Tx.load(X); });\n"
+                         "}\n");
+  EXPECT_TRUE(R.clean()) << toText(R);
+  EXPECT_EQ(R.Stats.Regions, 1u); // only the lambda
+}
+
+TEST(LintPipeline, R5PropagatesThroughCallChain) {
+  LintResult R = lintOne("int leaf() { return rand(); }\n"
+                         "int mid() { return leaf(); }\n"
+                         "void body(Tl2Txn &Tx) { mid(); }\n");
+  ASSERT_EQ(R.Diags.size(), 1u) << toText(R);
+  EXPECT_EQ(R.Diags[0].R, Rule::UnsafeCallee);
+  EXPECT_EQ(R.Diags[0].Line, 3u);
+  EXPECT_NE(R.Diags[0].Message.find("'mid'"), std::string::npos);
+  EXPECT_NE(R.Diags[0].Message.find("rand"), std::string::npos);
+}
+
+TEST(LintPipeline, SameClassCallsShadowForeignNames) {
+  // Both classes define step(); only Bad::step is unsafe. Good::tick's
+  // unqualified call must bind to Good::step, not Bad::step.
+  LintResult R = lintOne("struct Bad { int step() { return rand(); } };\n"
+                         "struct Good {\n"
+                         "  int step() { return 7; }\n"
+                         "  int tick() { return step(); }\n"
+                         "};\n"
+                         "void body(Tl2Txn &Tx, Good &G) { G.tick(); }\n");
+  EXPECT_TRUE(R.clean()) << toText(R);
+}
+
+TEST(LintPipeline, HandlePassedCalleesAreSanctioned) {
+  LintResult R = lintOne("void helper(Tl2Txn &Tx) { Tx.load(X); }\n"
+                         "void body(Tl2Txn &Tx) { helper(Tx); }\n");
+  EXPECT_TRUE(R.clean()) << toText(R);
+  EXPECT_EQ(R.Stats.Regions, 2u);
+}
+
+TEST(LintPipeline, SuppressionNeedsRationale) {
+  LintResult R = lintOne("void body(Tl2Txn &Tx) {\n"
+                         "  // stm-lint: allow(R2) deliberate, test-only\n"
+                         "  printf(\"x\\n\");\n"
+                         "  // stm-lint: allow(R2)\n"
+                         "  printf(\"y\\n\");\n"
+                         "}\n");
+  ASSERT_EQ(R.Diags.size(), 1u) << toText(R);
+  EXPECT_EQ(R.Diags[0].R, Rule::BadSuppression);
+  EXPECT_EQ(R.Diags[0].Line, 4u);
+  EXPECT_EQ(R.Stats.Suppressed, 2u);
+}
+
+TEST(LintPipeline, SuppressionRationaleMayWrap) {
+  LintResult R = lintOne("void body(Tl2Txn &Tx) {\n"
+                         "  // stm-lint: allow(R2) a rationale long\n"
+                         "  // enough to wrap onto a second line\n"
+                         "  printf(\"x\\n\");\n"
+                         "}\n");
+  EXPECT_TRUE(R.clean()) << toText(R);
+  EXPECT_EQ(R.Stats.Suppressed, 1u);
+}
+
+TEST(LintPipeline, JsonReportShape) {
+  LintResult R = lintOne("void body(Tl2Txn &Tx) { malloc(8); }\n");
+  std::string J = toJson(R);
+  EXPECT_NE(J.find("\"tool\":\"stm_lint\""), std::string::npos);
+  EXPECT_NE(J.find("\"rule\":\"R2\""), std::string::npos);
+  EXPECT_NE(J.find("\"line\":1"), std::string::npos);
+}
+
+TEST(LintPipeline, ExpectationsMatchBothWays) {
+  ExpectOutcome Good = checkExpectations(
+      {{"f.cpp", "void body(Tl2Txn &Tx) { malloc(8); } // expect-diag(R2)\n"}});
+  EXPECT_TRUE(Good.ok());
+  EXPECT_EQ(Good.Expected, 1u);
+  EXPECT_EQ(Good.Matched, 1u);
+
+  ExpectOutcome Missed = checkExpectations(
+      {{"f.cpp", "void body(Tl2Txn &Tx) { Tx.load(X); } // expect-diag(R1)\n"}});
+  ASSERT_EQ(Missed.Failures.size(), 1u);
+  EXPECT_NE(Missed.Failures[0].find("missed expectation"), std::string::npos);
+
+  ExpectOutcome Extra = checkExpectations(
+      {{"f.cpp", "void body(Tl2Txn &Tx) { malloc(8); }\n"}});
+  ASSERT_EQ(Extra.Failures.size(), 1u);
+  EXPECT_NE(Extra.Failures[0].find("unexpected diagnostic"),
+            std::string::npos);
+}
+
+} // namespace

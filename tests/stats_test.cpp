@@ -188,6 +188,8 @@ TEST(StatsAttributionTest, ReadTimeAbortTaggedReadSiteKnownCommitter) {
       Injected = true;
       // A commit lands between the victim's rv sample and its read of X,
       // so the read sees a too-new version and must abort at read time.
+      // stm-lint: allow(R5) deliberate commit injection from a second
+      // descriptor; single-threaded, so the nesting cannot deadlock.
       Enemy.run(9, [&](Tl2Txn &E) { E.store(X, E.load(X) + 1); });
     }
     (void)Tx.load(X);
@@ -219,6 +221,8 @@ TEST(StatsAttributionTest, ValidationAbortTaggedCommitValidateSite) {
       Injected = true;
       // Invalidate the logged read of X after it happened but before the
       // victim (a writer, so it validates) commits.
+      // stm-lint: allow(R5) deliberate commit injection from a second
+      // descriptor; single-threaded, so the nesting cannot deadlock.
       Enemy.run(9, [&](Tl2Txn &E) { E.store(X, E.load(X) + 1); });
     }
     Tx.store(Y, Seen + 1);
@@ -247,8 +251,12 @@ TEST(StatsAttributionTest, LockedStripeAbortTaggedLockAcquireSite) {
   Victim.run(7, [&](Tl2Txn &Tx) {
     if (First) {
       First = false;
+      // stm-lint: allow(R1) the test poisons the stripe with a foreign
+      // owner on purpose to force a deterministic lock-acquire abort.
       Stripe.store(LockTable::encodeLocked(Foreign));
     } else {
+      // stm-lint: allow(R1) restoring the pre-test stripe word so the
+      // retry can acquire the lock.
       Stripe.store(Unlocked); // release for the retry
     }
     Tx.store(Z, 1);
@@ -370,6 +378,8 @@ TEST(EagerOpensRegressionTest, KarmaAccruesEagerWriteWork) {
     if (Attempt > 0)
       // Karma resets on commit, so sample it on the retry, while the
       // aborted attempt's investment is still banked.
+      // stm-lint: allow(R5) read-only observation of the contention
+      // manager's karma counter; the test asserts on it, nothing more.
       KarmaAfterAbort = Karma.karmaOf(0);
     Tx.store(W1, 1);
     Tx.store(W2, 2);
@@ -404,6 +414,8 @@ TEST(AttemptLatencyTest, CountsEveryAttemptWhenEnabled) {
   for (int I = 0; I < 3; ++I)
     Txn.run(0, [&](Tl2Txn &Tx) {
       Tx.store(X, Tx.load(X) + 1);
+      // stm-lint: allow(R2) the sleep inflates attempt latency so the
+      // TrackAttemptLatency histogram has something to measure.
       std::this_thread::sleep_for(std::chrono::microseconds(200));
       if (I == 0 && Attempt++ == 0)
         Tx.retryAbort(); // aborted attempts count too

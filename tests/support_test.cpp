@@ -179,6 +179,40 @@ TEST(OptionsTest, BoolFalseSpellings) {
   EXPECT_TRUE(Opts.getBool("c", false));
 }
 
+TEST(OptionsTest, CollectsPositionalsInOrder) {
+  const char *Argv[] = {"prog", "first", "--k=v", "second"};
+  Options Opts = Options::parse(4, Argv);
+  ASSERT_EQ(Opts.positionals().size(), 2u);
+  EXPECT_EQ(Opts.positionals()[0], "first");
+  EXPECT_EQ(Opts.positionals()[1], "second");
+  EXPECT_EQ(Opts.keys(), std::vector<std::string>{"k"});
+}
+
+TEST(OptionSetTest, ValidatesDeclaredKeys) {
+  OptionSet Cli("tool", "does things",
+                {{"runs", "N", "number of runs"}, {"verbose", "", "chatty"}});
+  std::string Error;
+
+  const char *Good[] = {"tool", "--runs=3", "--verbose"};
+  EXPECT_TRUE(Cli.validate(Options::parse(3, Good), Error)) << Error;
+
+  const char *Bad[] = {"tool", "--rnus=3"};
+  EXPECT_FALSE(Cli.validate(Options::parse(2, Bad), Error));
+  EXPECT_NE(Error.find("rnus"), std::string::npos);
+}
+
+TEST(OptionSetTest, UsageListsEveryOption) {
+  OptionSet Cli("tool", "does things",
+                {{"runs", "N", "number of runs"}, {"verbose", "", "chatty"}},
+                "[paths...]");
+  std::string U = Cli.usage();
+  EXPECT_NE(U.find("does things"), std::string::npos);
+  EXPECT_NE(U.find("--runs=N"), std::string::npos);
+  EXPECT_NE(U.find("--verbose"), std::string::npos);
+  EXPECT_NE(U.find("[paths...]"), std::string::npos);
+  EXPECT_NE(U.find("--help"), std::string::npos);
+}
+
 TEST(BarrierTest, SynchronizesPhases) {
   constexpr unsigned N = 4;
   Barrier B(N);

@@ -32,7 +32,29 @@
 using namespace gstm;
 
 int main(int Argc, char **Argv) {
-  Options Opts = Options::parse(Argc, Argv);
+  OptionSet Cli(
+      "check_fuzz",
+      "schedule-perturbation correctness fuzzer over the STM backends",
+      {
+          {"iters", "N", "seeds to run (default 256; 1024 with --smoke)"},
+          {"seed-base", "S", "first seed of the range (default 1)"},
+          {"seed", "S", "reproduce exactly one seed"},
+          {"backend", "B",
+           "all, tl2-lazy, tl2-eager, libtm or ref (default all)"},
+          {"threads", "T", "worker threads per iteration"},
+          {"txns", "K", "transactions per thread"},
+          {"vars", "V", "shared variables in the workload"},
+          {"ops", "N", "max operations per transaction"},
+          {"preempt-shift", "N", "preemption-point density (power of two)"},
+          {"perturb-shift", "N", "schedule-perturbation density"},
+          {"smoke", "", "CI preset: 1024 seeds per backend"},
+          {"verbose", "", "print every iteration, not just failures"},
+          {"inject-skip-validation", "",
+           "fault injection: skip read validation (checkers must object)"},
+          {"inject-torn-publish", "",
+           "fault injection: publish torn versions (checkers must object)"},
+      });
+  Options Opts = Cli.parseOrExit(Argc, Argv);
 
   const bool Smoke = Opts.getBool("smoke", false);
   const uint64_t SeedBase =

@@ -208,7 +208,18 @@ static int inspectStats(const std::string &Path) {
 }
 
 int main(int Argc, char **Argv) {
-  Options Opts = Options::parse(Argc, Argv);
+  OptionSet Cli(
+      "model_inspect",
+      "inspect serialized TSA models and telemetry JSON exports",
+      {
+          {"model", "FILE", "serialized TSA model to inspect"},
+          {"diff", "OTHER", "second model: report the state overlap"},
+          {"tfactor", "X", "analyzer threshold factor (default 4.0)"},
+          {"top", "N", "hottest states to print (default 10)"},
+          {"stats", "FILE",
+           "telemetry JSON: print breakdowns, verify invariants"},
+      });
+  Options Opts = Cli.parseOrExit(Argc, Argv);
 
   std::string StatsPath = Opts.getString("stats", "");
   if (!StatsPath.empty())
@@ -216,10 +227,7 @@ int main(int Argc, char **Argv) {
 
   std::string Path = Opts.getString("model", "");
   if (Path.empty()) {
-    std::fprintf(stderr,
-                 "usage: model_inspect --model=FILE [--tfactor=4] "
-                 "[--top=10] [--diff=OTHER]\n"
-                 "       model_inspect --stats=FILE\n");
+    std::fputs(Cli.usage().c_str(), stderr);
     return 1;
   }
   auto Model = Tsa::load(Path);
