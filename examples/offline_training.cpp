@@ -20,6 +20,7 @@
 #include "core/Analyzer.h"
 #include "core/GuidedPolicy.h"
 #include "core/Runner.h"
+#include "model/Serialize.h"
 #include "stamp/Registry.h"
 #include "support/Options.h"
 
@@ -45,8 +46,10 @@ static int train(const std::string &Workload, const std::string &Path,
   std::printf("model: %zu states, guidance metric %.0f%% (%s)\n",
               Model.numStates(), Report.GuidanceMetricPercent,
               Report.Optimizable ? "guidable" : "weak");
-  if (!Model.save(Path)) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+  std::string Detail;
+  if (saveModel(Model, Path, &Detail) != ModelIoStatus::Ok) {
+    std::fprintf(stderr, "error: cannot write '%s': %s\n", Path.c_str(),
+                 Detail.c_str());
     return 1;
   }
   std::printf("saved to %s (%zu bytes in memory)\n", Path.c_str(),
@@ -56,13 +59,15 @@ static int train(const std::string &Workload, const std::string &Path,
 
 static int guide(const std::string &Workload, const std::string &Path,
                  unsigned Threads, unsigned Runs) {
-  auto Model = Tsa::load(Path);
-  if (!Model) {
-    std::fprintf(stderr, "error: cannot load '%s' — run --stage=train "
-                         "first\n",
-                 Path.c_str());
+  ModelLoadResult Loaded = loadModel(Path);
+  if (!Loaded.ok()) {
+    std::fprintf(stderr,
+                 "error: cannot load '%s' (%s) — run --stage=train "
+                 "first\n",
+                 Path.c_str(), modelIoStatusName(Loaded.Status));
     return 1;
   }
+  std::optional<Tsa> &Model = Loaded.Model;
   auto W = createStampWorkload(Workload, SizeClass::Large);
   if (!W)
     return 1;

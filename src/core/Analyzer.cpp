@@ -7,24 +7,14 @@
 
 #include "core/Analyzer.h"
 
-#include <cassert>
-
 using namespace gstm;
 
 std::vector<TsaEdge> gstm::highProbabilitySuccessors(const Tsa &Model,
                                                      StateId State,
                                                      double Tfactor) {
-  assert(Tfactor >= 1.0 && "Tfactor below 1 would reject the best edge");
-  std::vector<TsaEdge> Edges = Model.successors(State);
-  if (Edges.empty())
-    return Edges;
-  // successors() sorts by descending probability, so the head is Pmax.
-  double Threshold = Edges.front().Probability / Tfactor;
-  size_t Keep = 0;
-  while (Keep < Edges.size() && Edges[Keep].Probability >= Threshold)
-    ++Keep;
-  Edges.resize(Keep);
-  return Edges;
+  // successors() returns the canonical normalized order, so the shared
+  // prefix selection (core/ModelMath.h) applies directly.
+  return selectHighProbability(Model.successors(State), Tfactor);
 }
 
 AnalyzerReport gstm::analyzeModel(const Tsa &Model,

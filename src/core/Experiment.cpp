@@ -37,9 +37,11 @@ struct SideCollector {
     Agg.Telemetry.merge(R.Telemetry);
     Agg.Guide.GateChecks += R.Guide.GateChecks;
     Agg.Guide.Holds += R.Guide.Holds;
+    Agg.Guide.GateRetries += R.Guide.GateRetries;
     Agg.Guide.ForcedReleases += R.Guide.ForcedReleases;
     Agg.Guide.UnknownStates += R.Guide.UnknownStates;
     Agg.Guide.KnownStates += R.Guide.KnownStates;
+    Agg.Guide.PolicySwaps += R.Guide.PolicySwaps;
     Agg.AllVerified = Agg.AllVerified && R.Verified;
   }
 
@@ -88,24 +90,11 @@ void measureSides(TlWorkload &Workload, const ExperimentConfig &Config,
   GuidedOut = Guided.finish();
 }
 
-} // namespace
-
-ExperimentResult gstm::runExperiment(TlWorkload &ProfileWorkload,
-                                     TlWorkload &MeasureWorkload,
-                                     const ExperimentConfig &Config) {
-  ExperimentResult Result;
-
-  // Phase 1+2: profile and build the model (paper Fig. 1 left half).
-  for (unsigned Run = 0; Run < Config.ProfileRuns; ++Run) {
-    RunnerConfig RC = Config.Runner;
-    RC.Threads = Config.Threads;
-    RC.GroupMode = Config.GroupMode;
-    RunResult R = runWorkloadOnce(ProfileWorkload, RC,
-                                  Config.ProfileSeedBase + Run,
-                                  /*Policy=*/nullptr);
-    Result.Model.addRun(R.Tuples);
-  }
-
+/// Phases 3+4 shared by the cold (profile-first) and warm-start
+/// pipelines: analyze whatever model \p Result carries, then measure.
+void analyzeAndMeasure(TlWorkload &MeasureWorkload,
+                       const ExperimentConfig &Config,
+                       ExperimentResult &Result) {
   // Phase 3: analyze.
   AnalyzerConfig AC = Config.Analyzer;
   AC.Tfactor = Config.Tfactor;
@@ -124,6 +113,42 @@ ExperimentResult gstm::runExperiment(TlWorkload &ProfileWorkload,
     measureSides(MeasureWorkload, Config, /*Policy=*/nullptr,
                  Result.Default, Result.Guided);
   }
+}
+
+} // namespace
+
+ExperimentResult gstm::runExperiment(TlWorkload &ProfileWorkload,
+                                     TlWorkload &MeasureWorkload,
+                                     const ExperimentConfig &Config) {
+  ExperimentResult Result;
+
+  // Phase 1+2: profile and build the model (paper Fig. 1 left half).
+  for (unsigned Run = 0; Run < Config.ProfileRuns; ++Run) {
+    RunnerConfig RC = Config.Runner;
+    RC.Threads = Config.Threads;
+    RC.GroupMode = Config.GroupMode;
+    RunResult R = runWorkloadOnce(ProfileWorkload, RC,
+                                  Config.ProfileSeedBase + Run,
+                                  /*Policy=*/nullptr);
+    Result.Model.addRun(R.Tuples);
+    Result.ProfileCommits += R.Commits;
+    ++Result.ProfileRunsExecuted;
+  }
+
+  analyzeAndMeasure(MeasureWorkload, Config, Result);
+  return Result;
+}
+
+ExperimentResult gstm::runExperimentWithModel(TlWorkload &MeasureWorkload,
+                                              const ExperimentConfig &Config,
+                                              Tsa Model) {
+  ExperimentResult Result;
+  // Warm start: the model arrives pretrained (typically loaded from a
+  // model store), so the profiling phase is skipped outright —
+  // ProfileCommits stays zero, which tests use to prove no profiling
+  // transactions ran.
+  Result.Model = std::move(Model);
+  analyzeAndMeasure(MeasureWorkload, Config, Result);
   return Result;
 }
 

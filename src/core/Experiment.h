@@ -83,6 +83,12 @@ struct ExperimentResult {
   /// False when the analyzer rejected the model and ForceGuided was off;
   /// Guided is then empty.
   bool GuidedRan = false;
+  /// Transactions committed during the profiling phase. Zero for
+  /// warm-started experiments (runExperimentWithModel) — the acceptance
+  /// signal that a pretrained model really skipped profiling.
+  uint64_t ProfileCommits = 0;
+  /// Number of profiling runs executed (0 when warm-started).
+  unsigned ProfileRunsExecuted = 0;
 
   /// Per-thread % reduction of execution-time standard deviation
   /// (Figures 4 and 6; negative = degradation, Figure 8a/8c).
@@ -115,6 +121,15 @@ ExperimentResult runExperiment(TlWorkload &ProfileWorkload,
 /// Convenience overload: same workload for training and evaluation.
 ExperimentResult runExperiment(TlWorkload &Workload,
                                const ExperimentConfig &Config);
+
+/// Warm-start pipeline: analysis and measurement against a pretrained
+/// model (typically loaded from a model store — see model/Store.h). The
+/// profiling phase is skipped entirely; Result.ProfileCommits == 0 and
+/// Result.ProfileRunsExecuted == 0 certify that no profiling
+/// transactions were executed.
+ExperimentResult runExperimentWithModel(TlWorkload &MeasureWorkload,
+                                        const ExperimentConfig &Config,
+                                        Tsa Model);
 
 } // namespace gstm
 

@@ -43,6 +43,8 @@ RunResult gstm::runWorkloadOnce(TlWorkload &Workload,
   if (Policy) {
     Controller =
         std::make_unique<GuideController>(*Policy, Config.Guide, Downstream);
+    if (Config.Learner)
+      Controller->setTtsSink(Config.Learner);
     Stm.setObserver(Controller.get());
     Stm.setGate(Controller.get());
   } else {

@@ -7,9 +7,7 @@
 
 #include "core/Tsa.h"
 
-#include <algorithm>
 #include <cassert>
-#include <fstream>
 
 using namespace gstm;
 
@@ -29,13 +27,18 @@ void Tsa::addRun(const std::vector<StateTuple> &Run) {
   StateId Prev = UnknownState;
   for (const StateTuple &S : Run) {
     StateId Cur = intern(S);
-    if (Prev != UnknownState) {
-      ++Transitions[Prev][Cur];
-      ++OutTotals[Prev];
-      ++TotalTransitions;
-    }
+    if (Prev != UnknownState)
+      addTransition(Prev, Cur, 1);
     Prev = Cur;
   }
+}
+
+void Tsa::addTransition(StateId From, StateId To, uint64_t Count) {
+  assert(From < States.size() && To < States.size() &&
+         "transition endpoints must be interned states");
+  Transitions[From][To] += Count;
+  OutTotals[From] += Count;
+  TotalTransitions += Count;
 }
 
 std::optional<StateId> Tsa::lookup(const StateTuple &S) const {
@@ -48,102 +51,16 @@ std::optional<StateId> Tsa::lookup(const StateTuple &S) const {
 std::vector<TsaEdge> Tsa::successors(StateId Id) const {
   assert(Id < States.size() && "state id out of range");
   std::vector<TsaEdge> Edges;
-  uint64_t Total = OutTotals[Id];
   Edges.reserve(Transitions[Id].size());
   for (const auto &[Dest, Count] : Transitions[Id])
-    Edges.push_back(TsaEdge{Dest, Count,
-                            Total ? static_cast<double>(Count) /
-                                        static_cast<double>(Total)
-                                  : 0.0});
-  std::sort(Edges.begin(), Edges.end(),
-            [](const TsaEdge &A, const TsaEdge &B) {
-              if (A.Probability != B.Probability)
-                return A.Probability > B.Probability;
-              return A.Dest < B.Dest;
-            });
+    Edges.push_back(TsaEdge{Dest, Count, 0.0});
+  normalizeEdgeProbabilities(Edges);
   return Edges;
 }
 
 uint64_t Tsa::outFrequency(StateId Id) const {
   assert(Id < States.size() && "state id out of range");
   return OutTotals[Id];
-}
-
-namespace {
-constexpr uint64_t ModelMagic = 0x4753544d2d545341ULL; // "GSTM-TSA"
-
-template <typename T> void writeRaw(std::ofstream &Out, const T &V) {
-  Out.write(reinterpret_cast<const char *>(&V), sizeof(T));
-}
-
-template <typename T> bool readRaw(std::ifstream &In, T &V) {
-  In.read(reinterpret_cast<char *>(&V), sizeof(T));
-  return static_cast<bool>(In);
-}
-} // namespace
-
-bool Tsa::save(const std::string &Path) const {
-  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
-  if (!Out)
-    return false;
-  writeRaw(Out, ModelMagic);
-  writeRaw(Out, static_cast<uint64_t>(States.size()));
-  for (const StateTuple &S : States) {
-    writeRaw(Out, S.Commit);
-    writeRaw(Out, static_cast<uint32_t>(S.Aborts.size()));
-    for (TxThreadPair P : S.Aborts)
-      writeRaw(Out, P);
-  }
-  for (size_t I = 0; I < States.size(); ++I) {
-    writeRaw(Out, static_cast<uint32_t>(Transitions[I].size()));
-    for (const auto &[Dest, Count] : Transitions[I]) {
-      writeRaw(Out, Dest);
-      writeRaw(Out, Count);
-    }
-  }
-  return static_cast<bool>(Out);
-}
-
-std::optional<Tsa> Tsa::load(const std::string &Path) {
-  std::ifstream In(Path, std::ios::binary);
-  if (!In)
-    return std::nullopt;
-  uint64_t Magic = 0;
-  if (!readRaw(In, Magic) || Magic != ModelMagic)
-    return std::nullopt;
-  uint64_t NumStates = 0;
-  if (!readRaw(In, NumStates))
-    return std::nullopt;
-
-  Tsa Model;
-  for (uint64_t I = 0; I < NumStates; ++I) {
-    StateTuple S;
-    uint32_t NumAborts = 0;
-    if (!readRaw(In, S.Commit) || !readRaw(In, NumAborts))
-      return std::nullopt;
-    S.Aborts.resize(NumAborts);
-    for (uint32_t A = 0; A < NumAborts; ++A)
-      if (!readRaw(In, S.Aborts[A]))
-        return std::nullopt;
-    StateId Id = Model.intern(S);
-    if (Id != I)
-      return std::nullopt; // duplicate state in file: corrupt
-  }
-  for (uint64_t I = 0; I < NumStates; ++I) {
-    uint32_t NumEdges = 0;
-    if (!readRaw(In, NumEdges))
-      return std::nullopt;
-    for (uint32_t E = 0; E < NumEdges; ++E) {
-      StateId Dest = 0;
-      uint64_t Count = 0;
-      if (!readRaw(In, Dest) || !readRaw(In, Count) || Dest >= NumStates)
-        return std::nullopt;
-      Model.Transitions[I][Dest] += Count;
-      Model.OutTotals[I] += Count;
-      Model.TotalTransitions += Count;
-    }
-  }
-  return Model;
 }
 
 size_t Tsa::approxSizeBytes() const {

@@ -10,15 +10,19 @@
 /// thread transactional states; an edge s -> d is weighted by the observed
 /// transition frequency, and its probability is the frequency divided by
 /// the sum of all outbound frequencies of s (Algorithm 1). The model is
-/// built from the tuple sequences of one or more profiling runs and can be
-/// serialized to disk, mirroring the paper's offline `state_data` model
-/// files.
+/// built from the tuple sequences of one or more profiling runs, or
+/// reconstructed state-by-state via internState/addTransition — the
+/// surface the model lifecycle subsystem (model/Serialize.h,
+/// model/OnlineLearner.h) uses to rebuild a Tsa from persisted or
+/// incrementally learned frequencies. On-disk persistence itself lives in
+/// model/Serialize.h (versioned, checksummed), not here.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GSTM_CORE_TSA_H
 #define GSTM_CORE_TSA_H
 
+#include "core/ModelMath.h"
 #include "core/Tts.h"
 
 #include <cstdint>
@@ -29,13 +33,6 @@
 
 namespace gstm {
 
-/// One outbound edge of a TSA state.
-struct TsaEdge {
-  StateId Dest;
-  uint64_t Count;
-  double Probability;
-};
-
 /// The probabilistic thread state automaton.
 class Tsa {
 public:
@@ -43,6 +40,15 @@ public:
   /// counts the transitions between consecutive tuples. Runs are
   /// independent; no transition is counted across run boundaries.
   void addRun(const std::vector<StateTuple> &Run);
+
+  /// Interns \p S (which must be canonicalized) and returns its dense id.
+  /// Building block for reconstruction from serialized or learned
+  /// frequencies; addRun is built on it.
+  StateId internState(const StateTuple &S) { return intern(S); }
+
+  /// Adds \p Count observations of the transition \p From -> \p To. Both
+  /// ids must have been returned by internState/lookup.
+  void addTransition(StateId From, StateId To, uint64_t Count);
 
   /// Number of distinct states in the model (paper Table III).
   size_t numStates() const { return States.size(); }
@@ -56,17 +62,12 @@ public:
   std::optional<StateId> lookup(const StateTuple &S) const;
 
   /// Outbound edges of \p Id with probabilities normalized over the
-  /// state's total outbound frequency, sorted by descending probability.
+  /// state's total outbound frequency, in the canonical order of
+  /// core/ModelMath.h (descending probability, ties by destination id).
   std::vector<TsaEdge> successors(StateId Id) const;
 
   /// Sum of outbound frequencies of \p Id.
   uint64_t outFrequency(StateId Id) const;
-
-  /// Serializes the model to \p Path. Returns false on I/O failure.
-  bool save(const std::string &Path) const;
-
-  /// Deserializes a model previously written by save().
-  static std::optional<Tsa> load(const std::string &Path);
 
   /// Approximate in-memory footprint in bytes (paper quotes model sizes;
   /// reported by the table benches).

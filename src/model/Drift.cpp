@@ -1,0 +1,62 @@
+//===- model/Drift.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Drift.h"
+
+#include <cassert>
+
+using namespace gstm;
+
+DriftDetector::DriftDetector(const DriftConfig &Config) : Cfg(Config) {
+  assert(Cfg.Window > 0 && "window needs at least one slot");
+  assert(Cfg.EnableBelow <= Cfg.DisableAbove &&
+         "hysteresis band inverted: EnableBelow must be <= DisableAbove");
+  Ring.assign(Cfg.Window, 0.0);
+}
+
+bool DriftDetector::observe(const Tsa &Snapshot) {
+  double Metric;
+  if (Snapshot.numStates() < Cfg.MinStates ||
+      Snapshot.numTransitions() == 0) {
+    // Too little structure to discriminate — the worst possible score,
+    // same verdict the offline analyzer gives an unfit model.
+    Metric = 100.0;
+  } else {
+    AnalyzerConfig AC;
+    AC.Tfactor = Cfg.Tfactor;
+    AC.MinStates = Cfg.MinStates;
+    Metric = analyzeModel(Snapshot, AC).GuidanceMetricPercent;
+  }
+
+  Last = Metric;
+  Ring[Next] = Metric;
+  Next = (Next + 1) % Ring.size();
+  if (Count < Ring.size())
+    ++Count;
+
+  double Mean = windowedMetric();
+  bool Was = Enabled;
+  // Hysteresis: inside the (EnableBelow, DisableAbove] band the previous
+  // decision stands, so a metric oscillating around one threshold cannot
+  // flap the gate.
+  if (Enabled && Mean > Cfg.DisableAbove)
+    Enabled = false;
+  else if (!Enabled && Mean < Cfg.EnableBelow)
+    Enabled = true;
+  if (Enabled != Was)
+    ++Flips;
+  return Enabled;
+}
+
+double DriftDetector::windowedMetric() const {
+  if (Count == 0)
+    return 100.0;
+  double Sum = 0.0;
+  for (size_t I = 0; I < Count; ++I)
+    Sum += Ring[I];
+  return Sum / static_cast<double>(Count);
+}

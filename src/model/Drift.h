@@ -1,0 +1,96 @@
+//===- model/Drift.h - Drift detection over the live guidance metric -----===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the lifecycle loop: the analyzer's accept/reject decision
+/// (paper Sec. IV) is a one-shot, offline judgment, but a model that was
+/// discriminating when trained can stop discriminating when the workload
+/// drifts — at which point gating only costs slowdown (the paper's ssca2
+/// result: forcing guidance onto a >= ~50% metric *degrades* execution,
+/// Fig. 8). The drift detector recomputes the guidance metric over each
+/// fresh model snapshot the online learner produces and drives
+/// GuideController::setGatingEnabled:
+///
+///   * metric's sliding-window mean rises above DisableAbove  -> disarm
+///   * it falls back below EnableBelow                        -> re-arm
+///
+/// The two thresholds are deliberately separated (hysteresis): a metric
+/// hovering at the boundary must cross the full gap to flip the gate
+/// again, so guidance does not flap on sampling noise. Degenerate
+/// snapshots (fewer states than MinStates, or no transitions) count as
+/// non-discriminating — an empty model must never keep the gate armed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_MODEL_DRIFT_H
+#define GSTM_MODEL_DRIFT_H
+
+#include "core/Analyzer.h"
+#include "core/Tsa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace gstm {
+
+/// Tunables of the drift detector.
+struct DriftConfig {
+  /// Sliding-window length, in observe() calls.
+  size_t Window = 8;
+  /// Windowed metric above this disarms guidance (the analyzer's reject
+  /// threshold is the natural choice).
+  double DisableAbove = 50.0;
+  /// Windowed metric must fall below this to re-arm. Must be <=
+  /// DisableAbove; the gap is the hysteresis band.
+  double EnableBelow = 40.0;
+  /// Tfactor used to recompute the guidance metric (match the policy's).
+  double Tfactor = 4.0;
+  /// Snapshots with fewer states are scored as non-discriminating
+  /// (metric 100) rather than analyzed.
+  size_t MinStates = 4;
+};
+
+/// Sliding-window drift detector. Single-threaded: call observe() from
+/// the same control thread that drains the learner, then push the
+/// decision into the controller (setGatingEnabled).
+class DriftDetector {
+public:
+  explicit DriftDetector(const DriftConfig &Config = {});
+
+  /// Scores \p Snapshot, folds it into the window, updates the decision
+  /// and returns it (true = guidance should be armed).
+  bool observe(const Tsa &Snapshot);
+
+  /// Current decision without observing.
+  bool guidanceEnabled() const { return Enabled; }
+
+  /// Mean guidance metric over the current window (100 until the first
+  /// observation).
+  double windowedMetric() const;
+
+  /// Metric computed from the most recent observe() call.
+  double lastMetric() const { return Last; }
+
+  /// Number of armed<->disarmed transitions so far.
+  uint64_t flips() const { return Flips; }
+
+  size_t observations() const { return Count; }
+
+private:
+  DriftConfig Cfg;
+  /// Circular metric window; Count trails until the window fills.
+  std::vector<double> Ring;
+  size_t Next = 0;
+  size_t Count = 0;
+  double Last = 100.0;
+  bool Enabled = true;
+  uint64_t Flips = 0;
+};
+
+} // namespace gstm
+
+#endif // GSTM_MODEL_DRIFT_H

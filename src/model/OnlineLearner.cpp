@@ -1,0 +1,145 @@
+//===- model/OnlineLearner.cpp ---------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/OnlineLearner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace gstm;
+
+OnlineLearner::OnlineLearner(unsigned Threads, const LearnerConfig &Config)
+    : Cfg(Config), Lanes(Threads ? Threads : 1) {
+  assert(Cfg.RingCapacity > 0 && "ring needs at least one slot");
+  assert(Cfg.DecayFactor > 0.0 && Cfg.DecayFactor <= 1.0 &&
+         "decay factor must be in (0, 1]");
+  for (Lane &L : Lanes) {
+    L.Slots.resize(Cfg.RingCapacity);
+    // First-use abort vectors would otherwise allocate on the commit
+    // path; give every slot a little capacity up front.
+    for (Slot &S : L.Slots)
+      S.Tuple.Aborts.reserve(8);
+  }
+}
+
+void OnlineLearner::observeTuple(ThreadId Thread, uint64_t Seq,
+                                 const StateTuple &Tuple) {
+  assert(static_cast<size_t>(Thread) < Lanes.size() &&
+         "thread id outside the lanes allocated at construction");
+  Lane &L = Lanes[Thread];
+  L.Observed.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Head = L.Head.load(std::memory_order_relaxed);
+  uint64_t Tail = L.Tail.load(std::memory_order_acquire);
+  if (Head - Tail >= L.Slots.size()) {
+    // Backpressure by omission: the drainer is behind, and stalling a
+    // commit to wait for it would put a lock back on the path the whole
+    // design keeps lock-free. Sample loss only slows learning.
+    L.Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot &S = L.Slots[Head % L.Slots.size()];
+  S.Seq = Seq;
+  S.Tuple.Commit = Tuple.Commit;
+  // assign() reuses the slot vector's capacity — allocation-free once
+  // the slot has seen an abort set this large before.
+  S.Tuple.Aborts.assign(Tuple.Aborts.begin(), Tuple.Aborts.end());
+  // Publish the slot to the drainer *after* its contents are written.
+  L.Head.store(Head + 1, std::memory_order_release);
+}
+
+StateId OnlineLearner::internLocal(const StateTuple &S) {
+  auto It = Index.find(S);
+  if (It != Index.end())
+    return It->second;
+  StateId Id = static_cast<StateId>(States.size());
+  States.push_back(S);
+  Index.emplace(S, Id);
+  Weights.emplace_back();
+  return Id;
+}
+
+size_t OnlineLearner::drain() {
+  Batch.clear();
+  for (Lane &L : Lanes) {
+    uint64_t Tail = L.Tail.load(std::memory_order_relaxed);
+    uint64_t Head = L.Head.load(std::memory_order_acquire);
+    for (uint64_t I = Tail; I != Head; ++I)
+      Batch.push_back(L.Slots[I % L.Slots.size()]);
+    // Release the consumed slots back to the producer only after the
+    // copies above are complete.
+    L.Tail.store(Head, std::memory_order_release);
+  }
+  if (Batch.empty())
+    return 0;
+
+  // Per-thread buffering scrambles global order; the controller's dense
+  // formation sequence restores it, so the transition chain replayed
+  // here matches what a single serialized observer would have seen
+  // (minus dropped samples, which leave a gap but no wrong edge order).
+  std::sort(Batch.begin(), Batch.end(),
+            [](const Slot &A, const Slot &B) { return A.Seq < B.Seq; });
+
+  for (const Slot &S : Batch) {
+    StateId Cur = internLocal(S.Tuple);
+    if (LastId != UnknownState)
+      Weights[LastId][Cur] += 1.0;
+    LastId = Cur;
+  }
+  DrainedCount += Batch.size();
+  return Batch.size();
+}
+
+void OnlineLearner::decay() {
+  for (auto &EdgeMap : Weights) {
+    for (auto It = EdgeMap.begin(); It != EdgeMap.end();) {
+      It->second *= Cfg.DecayFactor;
+      if (It->second < Cfg.PruneBelow)
+        It = EdgeMap.erase(It);
+      else
+        ++It;
+    }
+  }
+  ++Epochs;
+}
+
+Tsa OnlineLearner::snapshotModel() const {
+  Tsa Model;
+  for (const StateTuple &S : States)
+    Model.internState(S);
+  for (StateId From = 0; From < Weights.size(); ++From) {
+    for (const auto &[Dest, Weight] : Weights[From]) {
+      // Quantize to integer frequencies. The scale cancels out of every
+      // probability ratio; edges that decayed to less than half a
+      // quantum vanish from the snapshot.
+      auto Count = static_cast<uint64_t>(
+          std::llround(Weight * Cfg.CountScale));
+      if (Count > 0)
+        Model.addTransition(From, Dest, Count);
+    }
+  }
+  return Model;
+}
+
+std::shared_ptr<const GuidedPolicy>
+OnlineLearner::compilePolicy(double Tfactor) const {
+  return std::make_shared<const GuidedPolicy>(snapshotModel(), Tfactor);
+}
+
+LearnerStats OnlineLearner::stats() const {
+  LearnerStats S;
+  for (const Lane &L : Lanes) {
+    S.Observed += L.Observed.load(std::memory_order_relaxed);
+    S.Dropped += L.Dropped.load(std::memory_order_relaxed);
+  }
+  S.Drained = DrainedCount;
+  S.States = States.size();
+  for (const auto &EdgeMap : Weights)
+    S.Edges += EdgeMap.size();
+  S.DecayEpochs = Epochs;
+  return S;
+}

@@ -1,0 +1,159 @@
+//===- model/OnlineLearner.h - Commit-time incremental TSA learning ------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Online half of the model lifecycle: instead of freezing the TSA after
+/// offline profiling, the learner ingests the guided run's own commit
+/// stream and re-estimates transition frequencies continuously, so the
+/// model can track a drifting workload.
+///
+/// Hot-path discipline mirrors stm/StatsShard.h: the committing worker
+/// (the only writer of its lane) appends the observed tuple to a
+/// per-thread single-producer/single-consumer ring — two relaxed-ish
+/// atomic ops and a buffer copy, no locks, no shared cache line with
+/// other producers. When a ring is full the observation is *dropped* and
+/// counted; learning tolerates sample loss, the commit path must never
+/// block (TtsSink contract).
+///
+/// A control thread periodically drain()s the rings off the hot path.
+/// Tuples carry the dense formation sequence number stamped by
+/// GuideController, so the drain merges all lanes and replays them in
+/// true formation order before forming transitions — per-thread buffering
+/// does not scramble the chain the TSA is built from. Edge weights are
+/// doubles aged by decay() (exponential forgetting: each epoch multiplies
+/// every weight by the decay factor, so recent behavior dominates with an
+/// effective horizon of 1/(1-factor) epochs). snapshotModel() quantizes
+/// the weights into a fresh immutable Tsa, and compilePolicy() wraps it
+/// for GuideController::publishPolicy — the atomically swapped snapshot
+/// readers consume without locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_MODEL_ONLINELEARNER_H
+#define GSTM_MODEL_ONLINELEARNER_H
+
+#include "core/GuideController.h"
+#include "core/GuidedPolicy.h"
+#include "core/Tsa.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace gstm {
+
+/// Tunables of the online learner.
+struct LearnerConfig {
+  /// Slots per per-thread ingest ring. A full ring drops (and counts)
+  /// new observations until the drainer catches up.
+  size_t RingCapacity = 4096;
+  /// Multiplier applied to every edge weight per decay() epoch, in
+  /// (0, 1]; 1.0 disables forgetting (pure accumulation).
+  double DecayFactor = 0.9;
+  /// Weights below this after decay are pruned so long-dead edges do not
+  /// accumulate without bound.
+  double PruneBelow = 1e-3;
+  /// Scale used by snapshotModel() to quantize double weights into the
+  /// Tsa's integer frequencies (probabilities are ratios, so the scale
+  /// cancels; it only sets the rounding resolution).
+  double CountScale = 1024.0;
+};
+
+/// Counters describing learner activity. Exact only when workers have
+/// quiesced.
+struct LearnerStats {
+  /// Tuples offered by the commit path.
+  uint64_t Observed = 0;
+  /// Tuples rejected because a ring was full.
+  uint64_t Dropped = 0;
+  /// Tuples consumed by drain() so far.
+  uint64_t Drained = 0;
+  /// States interned by the accumulator.
+  uint64_t States = 0;
+  /// Directed edges currently carrying weight.
+  uint64_t Edges = 0;
+  /// decay() epochs applied.
+  uint64_t DecayEpochs = 0;
+};
+
+/// Incremental TSA estimator fed by GuideController's TtsSink hook.
+///
+/// Concurrency contract: observeTuple() is called concurrently by worker
+/// threads, each writing only its own lane. drain(), decay(),
+/// snapshotModel(), compilePolicy() and stats() must be called from one
+/// control thread (they are not synchronized against each other).
+class OnlineLearner : public TtsSink {
+public:
+  /// \p Threads lanes are allocated up front; ThreadIds seen by
+  /// observeTuple must be < Threads.
+  OnlineLearner(unsigned Threads, const LearnerConfig &Config = {});
+
+  // TtsSink: wait-free append to the caller's lane (or counted drop).
+  void observeTuple(ThreadId Thread, uint64_t Seq,
+                    const StateTuple &Tuple) override;
+
+  /// Consumes every buffered observation, replays them in formation
+  /// order (Seq) and folds the transitions into the edge weights.
+  /// Returns the number of tuples consumed.
+  size_t drain();
+
+  /// Applies one exponential-forgetting epoch to all edge weights and
+  /// prunes the ones that decayed away.
+  void decay();
+
+  /// Quantizes the current weights into an immutable Tsa snapshot.
+  Tsa snapshotModel() const;
+
+  /// snapshotModel() compiled into a policy ready for
+  /// GuideController::publishPolicy.
+  std::shared_ptr<const GuidedPolicy>
+  compilePolicy(double Tfactor) const;
+
+  LearnerStats stats() const;
+
+private:
+  struct Slot {
+    uint64_t Seq = 0;
+    StateTuple Tuple;
+  };
+
+  /// One SPSC lane. Head is bumped only by the owning worker, Tail only
+  /// by the drainer; both are plain indexes into a fixed slot array.
+  /// Padded so two lanes never share a cache line (same reasoning as the
+  /// telemetry shards).
+  struct alignas(64) Lane {
+    std::vector<Slot> Slots;
+    std::atomic<uint64_t> Head{0};
+    std::atomic<uint64_t> Tail{0};
+    std::atomic<uint64_t> Dropped{0};
+    std::atomic<uint64_t> Observed{0};
+  };
+
+  StateId internLocal(const StateTuple &S);
+
+  LearnerConfig Cfg;
+  std::vector<Lane> Lanes;
+
+  // Accumulator state (control-thread only).
+  std::vector<StateTuple> States;
+  std::unordered_map<StateTuple, StateId, StateTupleHash> Index;
+  /// Weights[s]: dest -> EWMA-aged observation weight.
+  std::vector<std::unordered_map<StateId, double>> Weights;
+  /// Last state of the replayed chain, carried across drains so the
+  /// transition spanning two drain batches is not lost.
+  StateId LastId = UnknownState;
+  uint64_t DrainedCount = 0;
+  uint64_t Epochs = 0;
+  /// Merge scratch reused across drains.
+  std::vector<Slot> Batch;
+};
+
+} // namespace gstm
+
+#endif // GSTM_MODEL_ONLINELEARNER_H

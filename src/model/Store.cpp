@@ -1,0 +1,353 @@
+//===- model/Store.cpp -----------------------------------------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/Store.h"
+
+#include "core/JsonExport.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace gstm;
+
+namespace {
+
+/// Store container magic: "GSTMSTR\0" as a little-endian u64. Distinct
+/// from the bare-model magic so the two container kinds cannot be
+/// confused (feeding one to the other's reader is BadMagic, not UB).
+constexpr uint64_t StoreMagic = 0x0052545354534D47ULL;
+constexpr uint32_t StoreVersion = 1;
+/// Upper bound on the embedded workload-name length; anything larger is
+/// a corrupt length field, not a real name.
+constexpr uint32_t MaxWorkloadNameLen = 4096;
+
+void appendU32(std::string &Out, uint32_t V) {
+  for (int Shift = 0; Shift < 32; Shift += 8)
+    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  for (int Shift = 0; Shift < 64; Shift += 8)
+    Out.push_back(static_cast<char>((V >> Shift) & 0xffu));
+}
+
+struct Cursor {
+  const unsigned char *Data;
+  size_t Size;
+  size_t Off = 0;
+
+  size_t remaining() const { return Size - Off; }
+
+  bool readU32(uint32_t &Out) {
+    if (remaining() < 4)
+      return false;
+    Out = 0;
+    for (int I = 0; I < 4; ++I)
+      Out |= static_cast<uint32_t>(Data[Off + I]) << (8 * I);
+    Off += 4;
+    return true;
+  }
+
+  bool readU64(uint64_t &Out) {
+    if (remaining() < 8)
+      return false;
+    Out = 0;
+    for (int I = 0; I < 8; ++I)
+      Out |= static_cast<uint64_t>(Data[Off + I]) << (8 * I);
+    Off += 8;
+    return true;
+  }
+};
+
+std::string hexU64(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Key-stamped container: wrapper header + the Serialize.h model bytes.
+std::string encodeContainer(const ModelKey &Key, const Tsa &Model) {
+  std::string Out;
+  appendU64(Out, StoreMagic);
+  appendU32(Out, StoreVersion);
+  appendU32(Out, static_cast<uint32_t>(Key.Workload.size()));
+  Out += Key.Workload;
+  appendU32(Out, Key.Threads);
+  appendU64(Out, Key.ConfigHash);
+  Out += serializeModel(Model);
+  return Out;
+}
+
+/// Parses the wrapper header of \p Bytes into \p KeyOut. On Ok,
+/// \p ModelOffset is the start of the embedded model container.
+ModelIoStatus parseContainerKey(std::string_view Bytes, ModelKey &KeyOut,
+                                size_t &ModelOffset, std::string &Detail) {
+  Cursor C{reinterpret_cast<const unsigned char *>(Bytes.data()),
+           Bytes.size()};
+  uint64_t Magic;
+  if (!C.readU64(Magic)) {
+    Detail = "shorter than the store magic";
+    return ModelIoStatus::Truncated;
+  }
+  if (Magic != StoreMagic) {
+    Detail = "not a GSTM store container";
+    return ModelIoStatus::BadMagic;
+  }
+  uint32_t Version;
+  if (!C.readU32(Version)) {
+    Detail = "ends inside the store version field";
+    return ModelIoStatus::Truncated;
+  }
+  if (Version != StoreVersion) {
+    Detail = "store version " + std::to_string(Version) +
+             ", reader supports " + std::to_string(StoreVersion);
+    return ModelIoStatus::BadVersion;
+  }
+  uint32_t NameLen;
+  if (!C.readU32(NameLen)) {
+    Detail = "ends inside the workload-name length";
+    return ModelIoStatus::Truncated;
+  }
+  if (NameLen > MaxWorkloadNameLen) {
+    Detail = "workload-name length " + std::to_string(NameLen) +
+             " exceeds the format bound";
+    return ModelIoStatus::Corrupt;
+  }
+  if (C.remaining() < NameLen) {
+    Detail = "ends inside the workload name";
+    return ModelIoStatus::Truncated;
+  }
+  KeyOut.Workload.assign(Bytes.data() + C.Off, NameLen);
+  C.Off += NameLen;
+  uint32_t Threads;
+  if (!C.readU32(Threads) || !C.readU64(KeyOut.ConfigHash)) {
+    Detail = "ends inside the key fields";
+    return ModelIoStatus::Truncated;
+  }
+  KeyOut.Threads = Threads;
+  ModelOffset = C.Off;
+  return ModelIoStatus::Ok;
+}
+
+std::string describeKey(const ModelKey &K) {
+  return K.Workload + " t" + std::to_string(K.Threads) + " cfg " +
+         hexU64(K.ConfigHash);
+}
+
+/// Writes \p Content to \p FinalPath via a same-directory temporary and
+/// rename, so concurrent readers never observe a partial file.
+bool publishFile(const std::string &FinalPath, const std::string &Content,
+                 std::string &Detail) {
+  std::string Tmp =
+      FinalPath + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out) {
+      Detail = "cannot open " + Tmp + " for writing";
+      return false;
+    }
+    Out.write(Content.data(), static_cast<std::streamsize>(Content.size()));
+    Out.flush();
+    if (!Out) {
+      Detail = "short write to " + Tmp;
+      return false;
+    }
+  }
+  std::error_code Ec;
+  std::filesystem::rename(Tmp, FinalPath, Ec);
+  if (Ec) {
+    Detail = "rename " + Tmp + " -> " + FinalPath + ": " + Ec.message();
+    std::filesystem::remove(Tmp, Ec);
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+uint64_t gstm::hashConfigString(std::string_view Canonical) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (char Ch : Canonical) {
+    Hash ^= static_cast<unsigned char>(Ch);
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+std::string ModelKey::id() const {
+  std::string Safe;
+  Safe.reserve(Workload.size());
+  for (char Ch : Workload) {
+    bool Keep = (Ch >= 'a' && Ch <= 'z') || (Ch >= 'A' && Ch <= 'Z') ||
+                (Ch >= '0' && Ch <= '9') || Ch == '_' || Ch == '-';
+    Safe.push_back(Keep ? Ch : '_');
+  }
+  return Safe + "-t" + std::to_string(Threads) + "-" + hexU64(ConfigHash);
+}
+
+std::string ModelStore::pathFor(const ModelKey &Key) const {
+  return Root + "/" + Key.id() + ".model";
+}
+
+ModelIoStatus ModelStore::save(const ModelKey &Key, const Tsa &Model,
+                               std::string *Detail) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Root, Ec);
+  if (Ec) {
+    if (Detail)
+      *Detail = "cannot create store root " + Root + ": " + Ec.message();
+    return ModelIoStatus::IoError;
+  }
+
+  std::string Local;
+  std::string &D = Detail ? *Detail : Local;
+  if (!publishFile(pathFor(Key), encodeContainer(Key, Model), D))
+    return ModelIoStatus::IoError;
+
+  // Rebuild the manifest row set: drop any row with this id, append the
+  // fresh one. The manifest is a convenience index — the containers are
+  // authoritative — so a crash between the two renames only costs a
+  // stale row, never a wrong model.
+  std::vector<StoreEntry> Entries = list();
+  std::string Id = Key.id();
+  std::erase_if(Entries,
+                [&](const StoreEntry &E) { return E.Key.id() == Id; });
+  StoreEntry Fresh;
+  Fresh.Key = Key;
+  Fresh.NumStates = Model.numStates();
+  Fresh.NumTransitions = Model.numTransitions();
+  Fresh.File = Id + ".model";
+  Entries.push_back(std::move(Fresh));
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("version").value(uint64_t{1});
+  W.key("entries").beginArray();
+  for (const StoreEntry &E : Entries) {
+    W.beginObject();
+    W.key("id").value(E.Key.id());
+    W.key("workload").value(E.Key.Workload);
+    W.key("threads").value(static_cast<uint64_t>(E.Key.Threads));
+    // Hex string: a u64 hash can exceed the 2^53 range JSON numbers
+    // carry exactly.
+    W.key("config_hash").value(hexU64(E.Key.ConfigHash));
+    W.key("file").value(E.File);
+    W.key("states").value(E.NumStates);
+    W.key("transitions").value(E.NumTransitions);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  if (!publishFile(Root + "/manifest.json", W.take(), D))
+    return ModelIoStatus::IoError;
+  return ModelIoStatus::Ok;
+}
+
+ModelLoadResult ModelStore::load(const ModelKey &Key) const {
+  std::string Path = pathFor(Key);
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    ModelLoadResult R;
+    R.Status = ModelIoStatus::FileNotFound;
+    R.Detail = "no entry for " + describeKey(Key) + " (" + Path + ")";
+    return R;
+  }
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  if (In.bad()) {
+    ModelLoadResult R;
+    R.Status = ModelIoStatus::IoError;
+    R.Detail = "read error on " + Path;
+    return R;
+  }
+
+  ModelKey Embedded;
+  size_t ModelOffset = 0;
+  std::string Detail;
+  ModelIoStatus St =
+      parseContainerKey(Bytes, Embedded, ModelOffset, Detail);
+  if (St != ModelIoStatus::Ok) {
+    ModelLoadResult R;
+    R.Status = St;
+    R.Detail = std::move(Detail);
+    return R;
+  }
+  if (!(Embedded == Key)) {
+    ModelLoadResult R;
+    R.Status = ModelIoStatus::KeyMismatch;
+    R.Detail = "container stamped for " + describeKey(Embedded) +
+               ", requested " + describeKey(Key);
+    return R;
+  }
+  return deserializeModel(std::string_view(Bytes).substr(ModelOffset));
+}
+
+bool ModelStore::contains(const ModelKey &Key) const {
+  ModelKey Embedded;
+  if (readContainerKey(pathFor(Key), Embedded) != ModelIoStatus::Ok)
+    return false;
+  return Embedded == Key;
+}
+
+std::vector<StoreEntry> ModelStore::list() const {
+  std::vector<StoreEntry> Entries;
+  std::optional<std::string> Text = readTextFile(Root + "/manifest.json");
+  if (!Text)
+    return Entries;
+  std::optional<JsonValue> Doc = parseJson(*Text);
+  if (!Doc || !Doc->isObject())
+    return Entries;
+  const JsonValue *Rows = Doc->find("entries");
+  if (!Rows || !Rows->isArray())
+    return Entries;
+  for (const JsonValue &Row : Rows->Items) {
+    if (!Row.isObject())
+      continue;
+    StoreEntry E;
+    if (const JsonValue *V = Row.find("workload"))
+      E.Key.Workload = V->Str;
+    if (const JsonValue *V = Row.find("threads"))
+      E.Key.Threads = static_cast<unsigned>(V->asU64());
+    if (const JsonValue *V = Row.find("config_hash"))
+      E.Key.ConfigHash = std::strtoull(V->Str.c_str(), nullptr, 16);
+    if (const JsonValue *V = Row.find("file"))
+      E.File = V->Str;
+    if (const JsonValue *V = Row.find("states"))
+      E.NumStates = V->asU64();
+    if (const JsonValue *V = Row.find("transitions"))
+      E.NumTransitions = V->asU64();
+    Entries.push_back(std::move(E));
+  }
+  return Entries;
+}
+
+ModelIoStatus gstm::readContainerKey(const std::string &Path,
+                                     ModelKey &KeyOut,
+                                     std::string *Detail) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    if (Detail)
+      *Detail = "cannot open " + Path;
+    return ModelIoStatus::FileNotFound;
+  }
+  // The wrapper header is tiny; reading the bounded prefix avoids
+  // pulling a whole model in just to answer "whose is this".
+  std::string Bytes(8 + 4 + 4 + MaxWorkloadNameLen + 4 + 8, '\0');
+  In.read(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Bytes.resize(static_cast<size_t>(In.gcount()));
+  size_t ModelOffset = 0;
+  std::string Local;
+  ModelIoStatus St = parseContainerKey(Bytes, KeyOut, ModelOffset,
+                                       Detail ? *Detail : Local);
+  return St;
+}

@@ -1,0 +1,122 @@
+//===- model/Store.h - On-disk registry of trained models ----------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directory-backed registry that lets guided execution warm-start from
+/// a model trained in an earlier process. Models are keyed by what makes
+/// a TSA transferable — the workload, the thread count, and a hash of the
+/// engine/experiment configuration — because a model trained under a
+/// different key describes a different state space (the paper trains per
+/// application per thread count; Sec. VI).
+///
+/// Layout under the store root:
+///
+///   <root>/manifest.json      index of every entry (id, key, sizes)
+///   <root>/<id>.model         key-stamped container per entry
+///
+/// Each container embeds its full key ahead of the serialized model and
+/// load() refuses a key mismatch with a typed error, so a renamed or
+/// hand-copied file can never silently guide the wrong workload.
+/// Publication is crash-safe: save() stages to a temporary in the same
+/// directory and renames into place, so readers only ever observe either
+/// the old complete file or the new complete file, and the manifest is
+/// rewritten the same way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_MODEL_STORE_H
+#define GSTM_MODEL_STORE_H
+
+#include "model/Serialize.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gstm {
+
+/// Identity of a stored model: the coordinates under which a TSA is
+/// valid. Two runs with equal keys may share a model; any difference
+/// means retrain.
+struct ModelKey {
+  /// Workload name as registered (e.g. "counter-hot", "ssca2").
+  std::string Workload;
+  /// Worker-thread count the model was trained with. TTS tuples encode
+  /// thread ids, so a model does not transfer across thread counts.
+  unsigned Threads = 0;
+  /// Hash of the engine/experiment configuration that shaped the state
+  /// space (see hashConfigString); 0 is a valid hash, not a sentinel.
+  uint64_t ConfigHash = 0;
+
+  bool operator==(const ModelKey &O) const {
+    return Workload == O.Workload && Threads == O.Threads &&
+           ConfigHash == O.ConfigHash;
+  }
+
+  /// Filesystem-safe identity, e.g. "vacation-t8-1a2b3c4d5e6f7788".
+  /// Characters outside [A-Za-z0-9_-] in the workload name are mapped to
+  /// '_' (the embedded key, not the filename, is authoritative).
+  std::string id() const;
+};
+
+/// FNV-1a 64 of a canonical configuration rendering. Callers fold the
+/// fields that change the trained state space (grouping mode, Tfactor,
+/// PreemptShift, ...) into one string; equal strings <=> equal hashes.
+uint64_t hashConfigString(std::string_view Canonical);
+
+/// One manifest row.
+struct StoreEntry {
+  ModelKey Key;
+  uint64_t NumStates = 0;
+  uint64_t NumTransitions = 0;
+  /// Container filename relative to the store root.
+  std::string File;
+};
+
+/// Directory-backed model registry. Instances are cheap views over the
+/// root path; all state lives on disk.
+class ModelStore {
+public:
+  /// Uses \p Root as the store directory; created on first save().
+  explicit ModelStore(std::string Root) : Root(std::move(Root)) {}
+
+  const std::string &root() const { return Root; }
+
+  /// Serializes \p Model into a key-stamped container, publishes it
+  /// atomically (temp + rename) and updates the manifest. Overwrites an
+  /// existing entry with the same key.
+  ModelIoStatus save(const ModelKey &Key, const Tsa &Model,
+                     std::string *Detail = nullptr);
+
+  /// Loads the model stored under \p Key. FileNotFound when the store
+  /// has no such entry; KeyMismatch when the container at the key's path
+  /// was stamped for a different key (e.g. a file renamed by hand); any
+  /// Serialize.h failure otherwise.
+  ModelLoadResult load(const ModelKey &Key) const;
+
+  /// True when a container for \p Key exists and its embedded key
+  /// matches (content is not validated — use load() for that).
+  bool contains(const ModelKey &Key) const;
+
+  /// Manifest contents; empty for a missing or unreadable store.
+  std::vector<StoreEntry> list() const;
+
+  /// Absolute container path save()/load() use for \p Key.
+  std::string pathFor(const ModelKey &Key) const;
+
+private:
+  std::string Root;
+};
+
+/// Reads the key stamped into the container at \p Path without decoding
+/// the model. Status is Ok with \p KeyOut filled, or the failure.
+ModelIoStatus readContainerKey(const std::string &Path, ModelKey &KeyOut,
+                               std::string *Detail = nullptr);
+
+} // namespace gstm
+
+#endif // GSTM_MODEL_STORE_H

@@ -25,7 +25,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
-          --target tl2_test check_fuzz
+          --target tl2_test check_fuzz model_lifecycle_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "asan sub-build compile failed (${BuildRc})")
@@ -48,6 +48,18 @@ execute_process(
   RESULT_VARIABLE FuzzRc)
 if(NOT FuzzRc EQUAL 0)
   message(FATAL_ERROR "check_fuzz failed under asan (${FuzzRc})")
+endif()
+
+# Model-loader robustness: the serialization round-trip and corruption
+# fuzz suites exercise every bounds check in the deserializer — a single
+# out-of-range read on a mutated payload trips ASan/UBSan here even if
+# the uninstrumented test would still "pass".
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/model_lifecycle_test
+          --gtest_filter=Serialize*
+  RESULT_VARIABLE ModelRc)
+if(NOT ModelRc EQUAL 0)
+  message(FATAL_ERROR "model loader fuzz failed under asan (${ModelRc})")
 endif()
 
 message(STATUS "asan smoke passed")

@@ -1,0 +1,808 @@
+//===- tests/model_lifecycle_test.cpp - model lifecycle subsystem tests ----===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// The model lifecycle subsystem (src/model) end to end: versioned
+// serialization (byte-identical round trips, typed rejection of every
+// corruption mode, JSON interchange), the key-stamped on-disk store,
+// commit-stream online learning with EWMA forgetting, drift-driven gate
+// disarm/re-arm, and the warm-start experiment pipeline that proves a
+// persisted model guides with zero profiling transactions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Experiment.h"
+#include "core/GuideController.h"
+#include "core/ModelMath.h"
+#include "model/Drift.h"
+#include "model/OnlineLearner.h"
+#include "model/Serialize.h"
+#include "model/Store.h"
+#include "stamp/Kmeans.h"
+#include "support/SplitMix64.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+using namespace gstm;
+
+namespace {
+
+StateTuple makeTuple(TxId CommitTx, ThreadId CommitThread,
+                     std::initializer_list<std::pair<TxId, ThreadId>>
+                         Aborts = {}) {
+  StateTuple S;
+  S.Commit = packPair(CommitTx, CommitThread);
+  for (auto [Tx, T] : Aborts)
+    S.Aborts.push_back(packPair(Tx, T));
+  S.canonicalize();
+  return S;
+}
+
+/// Random but canonical tuple stream, the raw material for randomized
+/// serialization properties.
+std::vector<StateTuple> randomTuples(SplitMix64 &Rng, size_t N,
+                                     unsigned Threads, unsigned Sites) {
+  std::vector<StateTuple> Out;
+  Out.reserve(N);
+  for (size_t I = 0; I < N; ++I) {
+    StateTuple S;
+    S.Commit = packPair(static_cast<TxId>(Rng.nextBounded(Sites)),
+                        static_cast<ThreadId>(Rng.nextBounded(Threads)));
+    size_t Aborts = Rng.nextBounded(4);
+    for (size_t A = 0; A < Aborts; ++A)
+      S.Aborts.push_back(
+          packPair(static_cast<TxId>(Rng.nextBounded(Sites)),
+                   static_cast<ThreadId>(Rng.nextBounded(Threads))));
+    S.canonicalize();
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+Tsa randomModel(uint64_t Seed, int Runs = 3, size_t TuplesPerRun = 120) {
+  SplitMix64 Rng(Seed);
+  Tsa Model;
+  for (int R = 0; R < Runs; ++R)
+    Model.addRun(randomTuples(Rng, TuplesPerRun, 6, 4));
+  return Model;
+}
+
+std::string tempPath(const std::string &Name) {
+  return ::testing::TempDir() + "/" + Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Satellite: shared probability math (core/ModelMath.h)
+//===----------------------------------------------------------------------===//
+
+TEST(ModelMathTest, NormalizationMatchesDirectRatio) {
+  // Pin the extraction: the shared helper must reproduce exactly what
+  // Tsa::successors historically computed — Count / outFrequency, sorted
+  // by descending probability.
+  Tsa Model = randomModel(0x11a753);
+  for (StateId S = 0; S < Model.numStates(); ++S) {
+    auto Succ = Model.successors(S);
+    for (size_t I = 0; I < Succ.size(); ++I) {
+      EXPECT_DOUBLE_EQ(Succ[I].Probability,
+                       static_cast<double>(Succ[I].Count) /
+                           static_cast<double>(Model.outFrequency(S)));
+      if (I > 0) {
+        EXPECT_GE(Succ[I - 1].Probability, Succ[I].Probability);
+      }
+    }
+  }
+}
+
+TEST(ModelMathTest, SelectionAgreesWithAnalyzerHelper) {
+  Tsa Model = randomModel(0xabcde);
+  for (StateId S = 0; S < Model.numStates(); ++S) {
+    auto ViaAnalyzer = highProbabilitySuccessors(Model, S, 4.0);
+    auto ViaShared = selectHighProbability(Model.successors(S), 4.0);
+    ASSERT_EQ(ViaAnalyzer.size(), ViaShared.size());
+    for (size_t I = 0; I < ViaAnalyzer.size(); ++I) {
+      EXPECT_EQ(ViaAnalyzer[I].Dest, ViaShared[I].Dest);
+      EXPECT_DOUBLE_EQ(ViaAnalyzer[I].Probability,
+                       ViaShared[I].Probability);
+    }
+  }
+}
+
+TEST(ModelMathTest, PrefixRespectsThreshold) {
+  std::vector<TsaEdge> Edges = {{0, 8, 0.0}, {1, 2, 0.0}, {2, 1, 0.0}};
+  normalizeEdgeProbabilities(Edges);
+  // Pmax = 8/11; with Tfactor 4 the cut is 2/11: keeps 8 and 2, drops 1.
+  EXPECT_EQ(highProbabilityPrefix(Edges, 4.0), 2u);
+  // Tfactor 1 keeps only the maximum.
+  EXPECT_EQ(highProbabilityPrefix(Edges, 1.0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: round trips
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeTest, RoundTripIsByteIdentical) {
+  for (uint64_t Seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    Tsa Model = randomModel(Seed * 0x9e3779b97f4a7c15ULL);
+    std::string Bytes = serializeModel(Model);
+    ModelLoadResult Loaded = deserializeModel(Bytes);
+    ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+    EXPECT_EQ(serializeModel(*Loaded.Model), Bytes)
+        << "serialize -> load -> serialize must be byte-identical";
+  }
+}
+
+TEST(SerializeTest, RoundTripPreservesProbabilitiesExactly) {
+  Tsa Model = randomModel(0x5eed);
+  ModelLoadResult Loaded = deserializeModel(serializeModel(Model));
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  ASSERT_EQ(Loaded.Model->numStates(), Model.numStates());
+  EXPECT_EQ(Loaded.Model->numTransitions(), Model.numTransitions());
+  for (StateId S = 0; S < Model.numStates(); ++S) {
+    EXPECT_EQ(Model.state(S), Loaded.Model->state(S));
+    auto A = Model.successors(S);
+    auto B = Loaded.Model->successors(S);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t I = 0; I < A.size(); ++I) {
+      EXPECT_EQ(A[I].Dest, B[I].Dest);
+      EXPECT_EQ(A[I].Count, B[I].Count);
+      // Probabilities are derived, never stored: equal frequencies must
+      // reproduce them bit-exactly.
+      EXPECT_DOUBLE_EQ(A[I].Probability, B[I].Probability);
+    }
+  }
+}
+
+TEST(SerializeTest, EmptyModelRoundTrips) {
+  Tsa Empty;
+  ModelLoadResult Loaded = deserializeModel(serializeModel(Empty));
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  EXPECT_EQ(Loaded.Model->numStates(), 0u);
+  EXPECT_EQ(Loaded.Model->numTransitions(), 0u);
+}
+
+TEST(SerializeTest, JsonRoundTripPreservesModel) {
+  Tsa Model = randomModel(0x7501);
+  std::string Doc = modelToJson(Model);
+  ModelLoadResult Loaded = modelFromJson(Doc);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  // Canonical binary form is the equality oracle.
+  EXPECT_EQ(serializeModel(*Loaded.Model), serializeModel(Model));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization: typed failure taxonomy
+//===----------------------------------------------------------------------===//
+
+TEST(SerializeTest, TypedErrorsPerFailureMode) {
+  Tsa Model = randomModel(0xdead);
+  std::string Bytes = serializeModel(Model);
+
+  EXPECT_EQ(deserializeModel("").Status, ModelIoStatus::Truncated);
+  EXPECT_EQ(deserializeModel("junk").Status, ModelIoStatus::Truncated);
+  EXPECT_EQ(deserializeModel("twelve bytes!").Status,
+            ModelIoStatus::BadMagic);
+
+  std::string Wrong = Bytes;
+  Wrong[0] ^= 0x01; // magic
+  EXPECT_EQ(deserializeModel(Wrong).Status, ModelIoStatus::BadMagic);
+
+  std::string Versioned = Bytes;
+  Versioned[8] ^= 0x40; // version field
+  EXPECT_EQ(deserializeModel(Versioned).Status, ModelIoStatus::BadVersion);
+
+  std::string Flipped = Bytes;
+  Flipped.back() ^= 0x10; // payload byte
+  EXPECT_EQ(deserializeModel(Flipped).Status,
+            ModelIoStatus::ChecksumMismatch);
+
+  EXPECT_EQ(deserializeModel(Bytes.substr(0, Bytes.size() / 2)).Status,
+            ModelIoStatus::Truncated);
+
+  std::string Trailing = Bytes + "x";
+  EXPECT_EQ(deserializeModel(Trailing).Status, ModelIoStatus::Corrupt);
+
+  EXPECT_EQ(loadModel("/nonexistent/dir/model.bin").Status,
+            ModelIoStatus::FileNotFound);
+}
+
+TEST(SerializeTest, JsonRejectsMalformedDocuments) {
+  EXPECT_EQ(modelFromJson("not json").Status, ModelIoStatus::Corrupt);
+  EXPECT_EQ(modelFromJson("{}").Status, ModelIoStatus::BadMagic);
+  EXPECT_EQ(modelFromJson("{\"format\":\"gstm-tsa\",\"version\":99,"
+                          "\"total_transitions\":0,\"states\":[],"
+                          "\"edges\":[]}")
+                .Status,
+            ModelIoStatus::BadVersion);
+  // Edge pointing outside the state set.
+  EXPECT_EQ(modelFromJson("{\"format\":\"gstm-tsa\",\"version\":1,"
+                          "\"total_transitions\":1,\"states\":"
+                          "[{\"commit\":1,\"aborts\":[]}],\"edges\":"
+                          "[[{\"dest\":7,\"count\":1}]]}")
+                .Status,
+            ModelIoStatus::Corrupt);
+  // Declared transition total disagreeing with the edges.
+  EXPECT_EQ(modelFromJson("{\"format\":\"gstm-tsa\",\"version\":1,"
+                          "\"total_transitions\":5,\"states\":"
+                          "[{\"commit\":1,\"aborts\":[]}],\"edges\":"
+                          "[[{\"dest\":0,\"count\":1}]]}")
+                .Status,
+            ModelIoStatus::Corrupt);
+}
+
+TEST(SerializeFuzzTest, EveryMutationYieldsTypedErrorNeverUB) {
+  // Seeded corruption fuzz (the ASan/UBSan smoke builds re-run this
+  // suite): any single bit flip or truncation of a valid container must
+  // come back as a clean typed error. The reference bytes cover states,
+  // abort sets and edges, so every structural field gets mutated.
+  Tsa Model = randomModel(0xf022);
+  std::string Bytes = serializeModel(Model);
+  SplitMix64 Rng(0xb17f11b5);
+
+  for (int Trial = 0; Trial < 600; ++Trial) {
+    std::string Mutated = Bytes;
+    if (Rng.nextBounded(2) == 0) {
+      size_t Byte = Rng.nextBounded(Mutated.size());
+      Mutated[Byte] ^= static_cast<char>(1u << Rng.nextBounded(8));
+    } else {
+      Mutated.resize(Rng.nextBounded(Mutated.size()));
+    }
+    ModelLoadResult R = deserializeModel(Mutated);
+    EXPECT_NE(R.Status, ModelIoStatus::Ok)
+        << "mutation #" << Trial << " was accepted";
+    EXPECT_FALSE(R.Model.has_value());
+    EXPECT_FALSE(R.Detail.empty());
+  }
+}
+
+TEST(SerializeFuzzTest, RandomGarbageNeverCrashesTheLoader) {
+  SplitMix64 Rng(0x6a2ba6e);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    std::string Garbage(Rng.nextBounded(512), '\0');
+    for (char &C : Garbage)
+      C = static_cast<char>(Rng.next());
+    ModelLoadResult R = deserializeModel(Garbage);
+    EXPECT_NE(R.Status, ModelIoStatus::Ok);
+    (void)modelFromJson(Garbage); // must not crash either
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Store
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ModelKey testKey(const std::string &Workload = "kmeans",
+                 unsigned Threads = 8) {
+  ModelKey K;
+  K.Workload = Workload;
+  K.Threads = Threads;
+  K.ConfigHash = hashConfigString("unit-test-config");
+  return K;
+}
+
+struct StoreFixture : ::testing::Test {
+  void SetUp() override {
+    Dir = tempPath("gstm_store_" +
+                   std::to_string(
+                       ::testing::UnitTest::GetInstance()->random_seed()) +
+                   "_" + ::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name());
+    std::filesystem::remove_all(Dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(Dir); }
+  std::string Dir;
+};
+
+} // namespace
+
+TEST_F(StoreFixture, SaveLoadRoundTripUnderKey) {
+  ModelStore Store(Dir);
+  Tsa Model = randomModel(0x570e);
+  ModelKey Key = testKey();
+  std::string Detail;
+  ASSERT_EQ(Store.save(Key, Model, &Detail), ModelIoStatus::Ok) << Detail;
+
+  EXPECT_TRUE(Store.contains(Key));
+  ModelLoadResult Loaded = Store.load(Key);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  EXPECT_EQ(serializeModel(*Loaded.Model), serializeModel(Model));
+
+  std::vector<StoreEntry> Entries = Store.list();
+  ASSERT_EQ(Entries.size(), 1u);
+  EXPECT_EQ(Entries[0].Key.Workload, "kmeans");
+  EXPECT_EQ(Entries[0].Key.Threads, 8u);
+  EXPECT_EQ(Entries[0].Key.ConfigHash, Key.ConfigHash);
+  EXPECT_EQ(Entries[0].NumStates, Model.numStates());
+}
+
+TEST_F(StoreFixture, MissingEntryIsFileNotFound) {
+  ModelStore Store(Dir);
+  EXPECT_EQ(Store.load(testKey()).Status, ModelIoStatus::FileNotFound);
+  EXPECT_FALSE(Store.contains(testKey()));
+  EXPECT_TRUE(Store.list().empty());
+}
+
+TEST_F(StoreFixture, RefusesKeyMismatch) {
+  ModelStore Store(Dir);
+  ModelKey Trained = testKey("kmeans", 8);
+  ASSERT_EQ(Store.save(Trained, randomModel(0x6e75), nullptr),
+            ModelIoStatus::Ok);
+
+  // Simulate the classic operator mistake: hand-copy a container onto
+  // the path of a different key. The embedded key must refuse it.
+  ModelKey Wanted = testKey("kmeans", 16);
+  std::filesystem::copy_file(Store.pathFor(Trained),
+                             Store.pathFor(Wanted));
+  ModelLoadResult R = Store.load(Wanted);
+  EXPECT_EQ(R.Status, ModelIoStatus::KeyMismatch);
+  EXPECT_FALSE(R.Model.has_value());
+  EXPECT_FALSE(Store.contains(Wanted));
+
+  // The genuine key still loads.
+  EXPECT_TRUE(Store.load(Trained).ok());
+}
+
+TEST_F(StoreFixture, OverwriteReplacesEntryWithoutTempDebris) {
+  ModelStore Store(Dir);
+  ModelKey Key = testKey();
+  Tsa First = randomModel(1);
+  Tsa Second = randomModel(2);
+  ASSERT_EQ(Store.save(Key, First, nullptr), ModelIoStatus::Ok);
+  ASSERT_EQ(Store.save(Key, Second, nullptr), ModelIoStatus::Ok);
+
+  ModelLoadResult Loaded = Store.load(Key);
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_EQ(serializeModel(*Loaded.Model), serializeModel(Second));
+  EXPECT_EQ(Store.list().size(), 1u) << "overwrite must not duplicate";
+
+  // Atomic publication: only final files in the store directory.
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir))
+    EXPECT_EQ(Entry.path().string().find(".tmp."), std::string::npos)
+        << "stale temporary: " << Entry.path();
+}
+
+TEST_F(StoreFixture, CorruptContainerReportsTypedError) {
+  ModelStore Store(Dir);
+  ModelKey Key = testKey();
+  ASSERT_EQ(Store.save(Key, randomModel(3), nullptr), ModelIoStatus::Ok);
+
+  // Truncate the container mid-model.
+  std::string Path = Store.pathFor(Key);
+  std::error_code Ec;
+  auto Size = std::filesystem::file_size(Path, Ec);
+  ASSERT_FALSE(Ec);
+  std::filesystem::resize_file(Path, Size / 2, Ec);
+  ASSERT_FALSE(Ec);
+  ModelLoadResult R = Store.load(Key);
+  EXPECT_NE(R.Status, ModelIoStatus::Ok);
+  EXPECT_FALSE(R.Model.has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Online learner
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineLearnerTest, DrainReplaysFormationOrderAcrossLanes) {
+  // Observations arrive on per-thread lanes in arbitrary interleaving;
+  // the drain must rebuild the exact global chain Seq encodes.
+  OnlineLearner Learner(3);
+  StateTuple A = makeTuple(0, 0), B = makeTuple(1, 1), C = makeTuple(2, 2);
+  // Global chain: A(0) B(1) C(2) A(3) C(4). Lane order is scrambled.
+  Learner.observeTuple(2, 4, C);
+  Learner.observeTuple(1, 1, B);
+  Learner.observeTuple(0, 0, A);
+  Learner.observeTuple(0, 3, A);
+  Learner.observeTuple(1, 2, C);
+  EXPECT_EQ(Learner.drain(), 5u);
+
+  Tsa Snapshot = Learner.snapshotModel();
+  // Expected transitions: A->B, B->C, C->A, A->C, each once.
+  Tsa Expected;
+  StateId Ia = Expected.internState(A);
+  StateId Ib = Expected.internState(B);
+  StateId Ic = Expected.internState(C);
+  LearnerConfig Cfg;
+  auto Unit = static_cast<uint64_t>(Cfg.CountScale);
+  Expected.addTransition(Ia, Ib, Unit);
+  Expected.addTransition(Ib, Ic, Unit);
+  Expected.addTransition(Ic, Ia, Unit);
+  Expected.addTransition(Ia, Ic, Unit);
+  EXPECT_EQ(serializeModel(Snapshot), serializeModel(Expected));
+}
+
+TEST(OnlineLearnerTest, ChainSpansDrainBatches) {
+  OnlineLearner Learner(1);
+  StateTuple A = makeTuple(0, 0), B = makeTuple(1, 0);
+  Learner.observeTuple(0, 0, A);
+  EXPECT_EQ(Learner.drain(), 1u);
+  Learner.observeTuple(0, 1, B);
+  EXPECT_EQ(Learner.drain(), 1u);
+  // The A->B transition crosses the two drains and must still count.
+  Tsa Snapshot = Learner.snapshotModel();
+  EXPECT_EQ(Snapshot.numStates(), 2u);
+  EXPECT_GT(Snapshot.numTransitions(), 0u);
+}
+
+TEST(OnlineLearnerTest, FullLaneDropsAndCounts) {
+  LearnerConfig Cfg;
+  Cfg.RingCapacity = 4;
+  OnlineLearner Learner(1, Cfg);
+  StateTuple A = makeTuple(0, 0);
+  for (uint64_t I = 0; I < 10; ++I)
+    Learner.observeTuple(0, I, A);
+  LearnerStats S = Learner.stats();
+  EXPECT_EQ(S.Observed, 10u);
+  EXPECT_EQ(S.Dropped, 6u);
+  EXPECT_EQ(Learner.drain(), 4u);
+}
+
+TEST(OnlineLearnerTest, DecayForgetsOldBehavior) {
+  LearnerConfig Cfg;
+  Cfg.DecayFactor = 0.5;
+  OnlineLearner Learner(1, Cfg);
+  StateTuple A = makeTuple(0, 0), B = makeTuple(1, 0), C = makeTuple(2, 0);
+
+  // Old regime: A <-> B, 8 transitions into B.
+  uint64_t Seq = 0;
+  for (int I = 0; I < 8; ++I) {
+    Learner.observeTuple(0, Seq++, A);
+    Learner.observeTuple(0, Seq++, B);
+  }
+  Learner.drain();
+  // Four half-life epochs: old edges keep 1/16 of their weight.
+  for (int I = 0; I < 4; ++I)
+    Learner.decay();
+  // New regime: A <-> C, 8 transitions into C.
+  for (int I = 0; I < 8; ++I) {
+    Learner.observeTuple(0, Seq++, A);
+    Learner.observeTuple(0, Seq++, C);
+  }
+  Learner.drain();
+
+  Tsa Snapshot = Learner.snapshotModel();
+  auto IdA = Snapshot.lookup(A);
+  ASSERT_TRUE(IdA.has_value());
+  auto Succ = Snapshot.successors(*IdA);
+  ASSERT_FALSE(Succ.empty());
+  // The fresh A->C edge must dominate the decayed A->B edge.
+  auto IdC = Snapshot.lookup(C);
+  ASSERT_TRUE(IdC.has_value());
+  EXPECT_EQ(Succ.front().Dest, *IdC)
+      << "EWMA must favor the recent regime";
+  EXPECT_GT(Succ.front().Probability, 0.8);
+  EXPECT_EQ(Learner.stats().DecayEpochs, 4u);
+}
+
+TEST(OnlineLearnerTest, ConcurrentProducersSingleConsumer) {
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t PerThread = 2000;
+  LearnerConfig Cfg;
+  Cfg.RingCapacity = 1 << 14;
+  OnlineLearner Learner(Threads, Cfg);
+
+  // Distinct Seq per observation, interleaved across threads the way
+  // the controller hands them out.
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      StateTuple S = makeTuple(static_cast<TxId>(T),
+                               static_cast<ThreadId>(T));
+      for (uint64_t I = 0; I < PerThread; ++I)
+        Learner.observeTuple(static_cast<ThreadId>(T),
+                             I * Threads + T, S);
+    });
+  for (auto &W : Workers)
+    W.join();
+
+  size_t Drained = Learner.drain();
+  LearnerStats S = Learner.stats();
+  EXPECT_EQ(S.Observed, uint64_t{Threads} * PerThread);
+  EXPECT_EQ(Drained + S.Dropped, uint64_t{Threads} * PerThread);
+  Tsa Snapshot = Learner.snapshotModel();
+  EXPECT_EQ(Snapshot.numStates(), Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// Controller integration: policy swap, gating control
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Policy over a two-state model where only pair <0,0> is ever allowed
+/// from state 0 — lets a test force holds deterministically.
+std::shared_ptr<const GuidedPolicy> restrictivePolicy() {
+  Tsa Model;
+  StateTuple A = makeTuple(0, 0), B = makeTuple(0, 0, {{1, 1}});
+  // A -> A dominates; B is a rare destination pruned by Tfactor 1.
+  Model.addRun({A, A, A, A, A, A, A, A, B, A});
+  return std::make_shared<const GuidedPolicy>(std::move(Model), 1.0);
+}
+
+CommitEvent commitEventFor(ThreadId Thread, TxId Tx) {
+  CommitEvent E{};
+  E.Thread = Thread;
+  E.Tx = Tx;
+  return E;
+}
+
+} // namespace
+
+TEST(GuideControllerLifecycleTest, PublishPolicySwapsSnapshotAtomically) {
+  auto P1 = restrictivePolicy();
+  GuideConfig GC;
+  GuideController Controller(P1, GC);
+  EXPECT_EQ(Controller.activePolicy(), P1.get());
+
+  // Move to a known state, then swap: the stale state id must not
+  // survive into the new snapshot's id space.
+  Controller.onCommit(commitEventFor(0, 0));
+  EXPECT_NE(Controller.currentState(), UnknownState);
+
+  OnlineLearner Learner(1);
+  StateTuple A = makeTuple(0, 0), B = makeTuple(1, 0);
+  Learner.observeTuple(0, 0, A);
+  Learner.observeTuple(0, 1, B);
+  Learner.drain();
+  auto P2 = Learner.compilePolicy(4.0);
+  Controller.publishPolicy(P2);
+
+  EXPECT_EQ(Controller.activePolicy(), P2.get());
+  EXPECT_EQ(Controller.currentState(), UnknownState)
+      << "policy swap must reset the tracked state";
+  EXPECT_EQ(Controller.stats().PolicySwaps, 1u);
+
+  // Old snapshot stays alive (retained) even after the caller drops it.
+  P1.reset();
+  Controller.onCommit(commitEventFor(0, 1));
+  EXPECT_EQ(Controller.stats().KnownStates, 2u);
+}
+
+TEST(GuideControllerLifecycleTest, DisarmedGateHoldsNothing) {
+  auto Policy = restrictivePolicy();
+  GuideConfig GC;
+  GC.GateSleepMicros = 0;
+  GC.MaxGateRetries = 2;
+  GuideController Controller(Policy, GC);
+
+  // Enter state 0 (the restrictive one).
+  Controller.onCommit(commitEventFor(0, 0));
+  ASSERT_NE(Controller.currentState(), UnknownState);
+
+  // A disallowed pair holds while armed...
+  Controller.onTxStart(/*Thread=*/5, /*Tx=*/3);
+  EXPECT_EQ(Controller.stats().Holds, 1u);
+
+  // ...and sails through disarmed.
+  Controller.setGatingEnabled(false);
+  EXPECT_FALSE(Controller.gatingEnabled());
+  Controller.onTxStart(5, 3);
+  EXPECT_EQ(Controller.stats().Holds, 1u)
+      << "disarmed gate must not hold";
+
+  Controller.setGatingEnabled(true);
+  Controller.onTxStart(5, 3);
+  EXPECT_EQ(Controller.stats().Holds, 2u) << "re-armed gate holds again";
+}
+
+TEST(GuideControllerLifecycleTest, SinkReceivesTuplesInFormationOrder) {
+  struct RecordingSink : TtsSink {
+    std::vector<uint64_t> Seqs;
+    void observeTuple(ThreadId, uint64_t Seq, const StateTuple &) override {
+      Seqs.push_back(Seq);
+    }
+  } Sink;
+  auto Policy = restrictivePolicy();
+  GuideConfig GC;
+  GuideController Controller(Policy, GC);
+  Controller.setTtsSink(&Sink);
+  for (int I = 0; I < 5; ++I)
+    Controller.onCommit(commitEventFor(0, 0));
+  ASSERT_EQ(Sink.Seqs.size(), 5u);
+  for (uint64_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Sink.Seqs[I], I) << "dense formation sequence expected";
+
+  Controller.setTtsSink(nullptr);
+  Controller.onCommit(commitEventFor(0, 0));
+  EXPECT_EQ(Sink.Seqs.size(), 5u) << "detached sink must see nothing";
+}
+
+//===----------------------------------------------------------------------===//
+// Drift detection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Six fully-connected states. With \p DominantCount >> 1, each state has
+/// one high-probability successor and five rare ones the Tfactor
+/// threshold prunes — |D(s)| = 1 of 5, a low (discriminating) metric.
+/// With DominantCount == 1 every edge is equiprobable, |D(s)| =
+/// |successors(s)| and the metric is 100 (the ssca2 shape).
+Tsa denseModel(uint64_t DominantCount) {
+  Tsa Model;
+  std::vector<StateId> Ids;
+  for (int S = 0; S < 6; ++S)
+    Ids.push_back(Model.internState(makeTuple(static_cast<TxId>(S),
+                                              static_cast<ThreadId>(S))));
+  for (int S = 0; S < 6; ++S)
+    for (int O = 0; O < 6; ++O) {
+      if (O == S)
+        continue;
+      Model.addTransition(Ids[S], Ids[O],
+                          O == (S + 1) % 6 ? DominantCount : 1);
+    }
+  return Model;
+}
+
+Tsa biasedModel() { return denseModel(200); }
+Tsa uniformModel() { return denseModel(1); }
+
+} // namespace
+
+TEST(DriftTest, MetricSeparatesBiasedFromUniform) {
+  AnalyzerConfig AC;
+  double Biased = analyzeModel(biasedModel(), AC).GuidanceMetricPercent;
+  double Uniform = analyzeModel(uniformModel(), AC).GuidanceMetricPercent;
+  EXPECT_LT(Biased, 40.0);
+  EXPECT_GT(Uniform, 50.0);
+}
+
+TEST(DriftTest, ShiftDisablesRestoreReenables) {
+  DriftConfig DC;
+  DC.Window = 3;
+  DriftDetector Drift(DC);
+  EXPECT_TRUE(Drift.guidanceEnabled());
+
+  Tsa Biased = biasedModel();
+  Tsa Uniform = uniformModel();
+
+  // Healthy phase: discriminating snapshots keep guidance armed.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Drift.observe(Biased));
+
+  // Workload shift: the model stops discriminating (the ssca2 >= ~50%
+  // shape); once the window fills with bad scores, the gate disarms.
+  bool Armed = true;
+  for (int I = 0; I < 4; ++I)
+    Armed = Drift.observe(Uniform);
+  EXPECT_FALSE(Armed);
+  EXPECT_FALSE(Drift.guidanceEnabled());
+  EXPECT_EQ(Drift.flips(), 1u);
+
+  // Shift back: bias returns, the window drains, guidance re-arms.
+  for (int I = 0; I < 4; ++I)
+    Armed = Drift.observe(Biased);
+  EXPECT_TRUE(Armed);
+  EXPECT_TRUE(Drift.guidanceEnabled());
+  EXPECT_EQ(Drift.flips(), 2u);
+}
+
+TEST(DriftTest, DegenerateSnapshotsScoreWorst) {
+  DriftConfig DC;
+  DC.Window = 2;
+  DriftDetector Drift(DC);
+  Tsa Empty;
+  EXPECT_FALSE(Drift.observe(Empty));
+  EXPECT_DOUBLE_EQ(Drift.lastMetric(), 100.0);
+  EXPECT_FALSE(Drift.guidanceEnabled())
+      << "an empty model must never keep the gate armed";
+}
+
+TEST(DriftTest, HysteresisPreventsFlapping) {
+  // A metric wandering inside the (EnableBelow, DisableAbove] band must
+  // not flip the decision in either direction.
+  DriftConfig DC;
+  DC.Window = 1; // decision tracks each observation directly
+  Tsa Biased = biasedModel();
+  Tsa Uniform = uniformModel();
+  double BandMetric =
+      analyzeModel(Uniform, AnalyzerConfig{}).GuidanceMetricPercent;
+  ASSERT_GT(BandMetric, DC.DisableAbove); // sanity: uniform disarms
+
+  // Tune thresholds so the uniform metric sits inside the band.
+  DC.DisableAbove = BandMetric + 5.0;
+  DC.EnableBelow = 10.0;
+  DriftDetector Banded(DC);
+  Banded.observe(Biased);
+  uint64_t Before = Banded.flips();
+  for (int I = 0; I < 6; ++I)
+    EXPECT_TRUE(Banded.observe(Uniform));
+  EXPECT_EQ(Banded.flips(), Before)
+      << "in-band metric must not flip the gate";
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end lifecycle: profile -> persist -> warm-start guided run
+//===----------------------------------------------------------------------===//
+
+TEST(WarmStartTest, PersistedModelGuidesWithZeroProfiling) {
+  // Stage 1: a "training process" profiles and publishes to the store.
+  std::string Dir = tempPath("gstm_warmstart_e2e");
+  std::filesystem::remove_all(Dir);
+  ModelKey Key;
+  Key.Workload = "kmeans";
+  Key.Threads = 4;
+  Key.ConfigHash = hashConfigString("e2e");
+  {
+    KmeansWorkload Train(KmeansParams::forSize(SizeClass::Small));
+    ExperimentConfig EC;
+    EC.Threads = 4;
+    EC.ProfileRuns = 3;
+    EC.MeasureRuns = 0; // train only
+    ExperimentResult Trained = runExperiment(Train, EC);
+    EXPECT_GT(Trained.ProfileCommits, 0u);
+    EXPECT_EQ(Trained.ProfileRunsExecuted, 3u);
+    ASSERT_GT(Trained.Model.numStates(), 0u);
+    ModelStore Store(Dir);
+    std::string Detail;
+    ASSERT_EQ(Store.save(Key, Trained.Model, &Detail), ModelIoStatus::Ok)
+        << Detail;
+  }
+
+  // Stage 2: a fresh "deployment process" loads and guides cold.
+  ModelStore Store(Dir);
+  ModelLoadResult Loaded = Store.load(Key);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+
+  KmeansWorkload Measure(KmeansParams::forSize(SizeClass::Small));
+  ExperimentConfig EC;
+  EC.Threads = 4;
+  EC.MeasureRuns = 3;
+  EC.ForceGuided = true;
+  ExperimentResult R =
+      runExperimentWithModel(Measure, EC, std::move(*Loaded.Model));
+
+  // The acceptance signal: guided execution ran from the persisted
+  // model with zero profiling transactions in this "process".
+  EXPECT_EQ(R.ProfileCommits, 0u);
+  EXPECT_EQ(R.ProfileRunsExecuted, 0u);
+  EXPECT_TRUE(R.GuidedRan);
+  EXPECT_TRUE(R.Default.AllVerified);
+  EXPECT_TRUE(R.Guided.AllVerified);
+  EXPECT_GT(R.Model.numStates(), 0u);
+  // The loaded model matches live behavior: commits resolve to known
+  // states (an alien model would resolve none).
+  EXPECT_GT(R.Guided.Guide.KnownStates, 0u);
+  EXPECT_GT(R.Guided.DistinctStates, 0u);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(WarmStartTest, LearnerAttachedToGuidedRunIngestsCommits) {
+  // Live loop closure: a guided run with a learner attached streams its
+  // commit tuples into the learner, whose drained snapshot then
+  // resembles the live behavior (and could be published back).
+  KmeansWorkload W(KmeansParams::forSize(SizeClass::Small));
+  Tsa Model;
+  RunnerConfig RC;
+  RC.Threads = 4;
+  for (unsigned Run = 0; Run < 2; ++Run)
+    Model.addRun(runWorkloadOnce(W, RC, 42 + Run, nullptr).Tuples);
+  ASSERT_GT(Model.numStates(), 0u);
+  GuidedPolicy Policy(Model, 4.0);
+
+  OnlineLearner Learner(4);
+  RC.Learner = &Learner;
+  RunResult R = runWorkloadOnce(W, RC, 99, &Policy);
+  ASSERT_TRUE(R.Verified);
+  EXPECT_GT(R.Commits, 0u);
+
+  size_t Drained = Learner.drain();
+  LearnerStats S = Learner.stats();
+  EXPECT_EQ(S.Observed, R.Commits)
+      << "every commit's tuple must reach the sink";
+  EXPECT_EQ(Drained + S.Dropped, S.Observed);
+  Tsa Snapshot = Learner.snapshotModel();
+  EXPECT_GT(Snapshot.numStates(), 0u);
+  auto P2 = Learner.compilePolicy(4.0);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_GT(P2->model().numStates(), 0u);
+}

@@ -10,6 +10,7 @@
 #include "core/Trace.h"
 #include "core/Tsa.h"
 #include "core/Tts.h"
+#include "model/Serialize.h"
 
 #include <gtest/gtest.h>
 
@@ -204,14 +205,14 @@ TEST(TsaTest, SaveLoadRoundTrip) {
   Model.addRun({A, B, C, A, B, A});
 
   std::string Path = ::testing::TempDir() + "/gstm_tsa_roundtrip.bin";
-  ASSERT_TRUE(Model.save(Path));
-  auto Loaded = Tsa::load(Path);
-  ASSERT_TRUE(Loaded.has_value());
-  EXPECT_EQ(Loaded->numStates(), Model.numStates());
-  EXPECT_EQ(Loaded->numTransitions(), Model.numTransitions());
+  ASSERT_EQ(saveModel(Model, Path), ModelIoStatus::Ok);
+  ModelLoadResult Loaded = loadModel(Path);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  EXPECT_EQ(Loaded.Model->numStates(), Model.numStates());
+  EXPECT_EQ(Loaded.Model->numTransitions(), Model.numTransitions());
   for (StateId S = 0; S < Model.numStates(); ++S) {
     auto Orig = Model.successors(S);
-    auto Copy = Loaded->successors(S);
+    auto Copy = Loaded.Model->successors(S);
     ASSERT_EQ(Orig.size(), Copy.size());
     for (size_t I = 0; I < Orig.size(); ++I) {
       EXPECT_EQ(Orig[I].Dest, Copy[I].Dest);
@@ -227,8 +228,9 @@ TEST(TsaTest, LoadRejectsGarbage) {
     std::ofstream Out(Path, std::ios::binary);
     Out << "not a model";
   }
-  EXPECT_FALSE(Tsa::load(Path).has_value());
-  EXPECT_FALSE(Tsa::load("/nonexistent/path/x.bin").has_value());
+  EXPECT_EQ(loadModel(Path).Status, ModelIoStatus::BadMagic);
+  EXPECT_EQ(loadModel("/nonexistent/path/x.bin").Status,
+            ModelIoStatus::FileNotFound);
   std::remove(Path.c_str());
 }
 

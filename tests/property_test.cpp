@@ -16,6 +16,7 @@
 #include "core/GuidedPolicy.h"
 #include "core/Trace.h"
 #include "core/Tsa.h"
+#include "model/Serialize.h"
 #include "support/SplitMix64.h"
 
 #include <gtest/gtest.h>
@@ -171,13 +172,13 @@ TEST_P(GroupingProperty, SaveLoadPreservesRandomModels) {
 
   std::string Path = ::testing::TempDir() + "/gstm_prop_" +
                      std::to_string(GetParam()) + ".tsa";
-  ASSERT_TRUE(Model.save(Path));
-  auto Loaded = Tsa::load(Path);
-  ASSERT_TRUE(Loaded.has_value());
-  EXPECT_EQ(Loaded->numStates(), Model.numStates());
-  EXPECT_EQ(Loaded->numTransitions(), Model.numTransitions());
+  ASSERT_EQ(saveModel(Model, Path), ModelIoStatus::Ok);
+  ModelLoadResult Loaded = loadModel(Path);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.Detail;
+  EXPECT_EQ(Loaded.Model->numStates(), Model.numStates());
+  EXPECT_EQ(Loaded.Model->numTransitions(), Model.numTransitions());
   // Analyzer must agree on both.
-  EXPECT_DOUBLE_EQ(analyzeModel(*Loaded).GuidanceMetricPercent,
+  EXPECT_DOUBLE_EQ(analyzeModel(*Loaded.Model).GuidanceMetricPercent,
                    analyzeModel(Model).GuidanceMetricPercent);
   std::remove(Path.c_str());
 }

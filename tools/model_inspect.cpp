@@ -29,6 +29,7 @@
 #include "core/Analyzer.h"
 #include "core/JsonExport.h"
 #include "core/Tsa.h"
+#include "model/Serialize.h"
 #include "support/Options.h"
 
 #include <algorithm>
@@ -230,22 +231,25 @@ int main(int Argc, char **Argv) {
     std::fputs(Cli.usage().c_str(), stderr);
     return 1;
   }
-  auto Model = Tsa::load(Path);
-  if (!Model) {
-    std::fprintf(stderr, "error: cannot load model '%s'\n", Path.c_str());
+  ModelLoadResult Model = loadModel(Path);
+  if (!Model.ok()) {
+    std::fprintf(stderr, "error: cannot load model '%s': %s (%s)\n",
+                 Path.c_str(), modelIoStatusName(Model.Status),
+                 Model.Detail.c_str());
     return 1;
   }
 
   std::string Other = Opts.getString("diff", "");
   if (!Other.empty()) {
-    auto OtherModel = Tsa::load(Other);
-    if (!OtherModel) {
-      std::fprintf(stderr, "error: cannot load model '%s'\n",
-                   Other.c_str());
+    ModelLoadResult OtherModel = loadModel(Other);
+    if (!OtherModel.ok()) {
+      std::fprintf(stderr, "error: cannot load model '%s': %s (%s)\n",
+                   Other.c_str(), modelIoStatusName(OtherModel.Status),
+                   OtherModel.Detail.c_str());
       return 1;
     }
-    return diff(*Model, *OtherModel);
+    return diff(*Model.Model, *OtherModel.Model);
   }
-  return inspect(*Model, Opts.getDouble("tfactor", 4.0),
+  return inspect(*Model.Model, Opts.getDouble("tfactor", 4.0),
                  static_cast<unsigned>(Opts.getInt("top", 10)));
 }
