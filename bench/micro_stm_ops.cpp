@@ -21,6 +21,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 using namespace gstm;
 
 static void BM_Tl2ReadOnlyTxn(benchmark::State &State) {
@@ -128,6 +135,69 @@ BENCHMARK(BM_Tl2DisjointReadOnlyTxn)
     ->Threads(8)
     ->Threads(16)
     ->UseRealTime();
+
+namespace {
+
+/// Minimal attached sink for the access-observer overhead pair below:
+/// counts events and nothing else, so the pair isolates the hook cost.
+struct CountingAccessObserver final : TxAccessObserver {
+  uint64_t Begins = 0, Loads = 0, Stores = 0, Locks = 0;
+  void onTxBegin(ThreadId, TxId, uint64_t) override { ++Begins; }
+  void onTxLoad(ThreadId, const void *, uint64_t, uint64_t,
+                bool) override {
+    ++Loads;
+  }
+  void onTxStore(ThreadId, const void *, uint64_t) override { ++Stores; }
+  void onLockAcquire(ThreadId, uint64_t) override { ++Locks; }
+};
+
+/// Fixture for the observer pair: a 16-location read-modify-write
+/// transaction, sized to exercise the inline-capacity read/write logs and
+/// the open-addressed write index without spilling to the heap.
+struct ObserverPairBench {
+  static constexpr size_t Vars = 16;
+  Tl2Stm Stm;
+  std::vector<std::unique_ptr<TVar<uint64_t>>> Locations;
+  ObserverPairBench() {
+    for (size_t I = 0; I < Vars; ++I)
+      Locations.push_back(std::make_unique<TVar<uint64_t>>(I));
+  }
+  void runOnce(Tl2Txn &Txn) {
+    Txn.run(0, [&](Tl2Txn &Tx) {
+      for (auto &V : Locations)
+        Tx.store(*V, Tx.load(*V) + 1);
+    });
+  }
+};
+
+} // namespace
+
+// Attached-vs-detached cost of the per-access observer hook over the
+// inline-capacity transaction logs: detached must stay at one null test
+// per access, attached adds only the virtual dispatch + counter. A gap
+// beyond that means the container rework re-introduced per-access
+// overhead on the observer path.
+static void BM_Tl2RwAccessObserverDetached(benchmark::State &State) {
+  ObserverPairBench G;
+  Tl2Txn Txn(G.Stm, 0);
+  for (auto _ : State)
+    G.runOnce(Txn);
+  State.SetItemsProcessed(State.iterations() * ObserverPairBench::Vars);
+}
+BENCHMARK(BM_Tl2RwAccessObserverDetached);
+
+static void BM_Tl2RwAccessObserverAttached(benchmark::State &State) {
+  ObserverPairBench G;
+  CountingAccessObserver Obs;
+  G.Stm.setAccessObserver(&Obs);
+  Tl2Txn Txn(G.Stm, 0);
+  for (auto _ : State)
+    G.runOnce(Txn);
+  G.Stm.setAccessObserver(nullptr);
+  benchmark::DoNotOptimize(Obs.Loads);
+  State.SetItemsProcessed(State.iterations() * ObserverPairBench::Vars);
+}
+BENCHMARK(BM_Tl2RwAccessObserverAttached);
 
 static void BM_GatePolicyLookup(benchmark::State &State) {
   // Cost of one gate check against a compiled policy (the hot-path add-on
@@ -268,4 +338,42 @@ static void BM_StateTupleIntern(benchmark::State &State) {
 }
 BENCHMARK(BM_StateTupleIntern);
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--json-dir=DIR` additionally
+// routes the full google-benchmark JSON report (one row per op kind and
+// thread count) to DIR/micro_stm_ops.json, which is the ingestion format
+// of tools/bench_runner. All other flags pass through to the library.
+int main(int Argc, char **Argv) {
+  std::string JsonDir;
+  std::vector<char *> Passthrough;
+  Passthrough.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg.rfind("--json-dir=", 0) == 0)
+      JsonDir = Arg.substr(std::string_view("--json-dir=").size());
+    else
+      Passthrough.push_back(Argv[I]);
+  }
+  int PassArgc = static_cast<int>(Passthrough.size());
+  benchmark::Initialize(&PassArgc, Passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(PassArgc,
+                                             Passthrough.data()))
+    return 1;
+  if (!JsonDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(JsonDir, Ec);
+    std::string Path = JsonDir + "/micro_stm_ops.json";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::fprintf(stderr, "micro_stm_ops: cannot write %s\n",
+                   Path.c_str());
+      return 1;
+    }
+    benchmark::JSONReporter Json;
+    Json.SetOutputStream(&Out);
+    benchmark::RunSpecifiedBenchmarks(&Json);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -133,6 +133,7 @@ FuzzRunResult runTl2(const FuzzPlan &Plan, uint64_t Seed,
   C.LockTableBits = 10; // small table: deliberate stripe aliasing pressure
   C.Detection = Detection;
   C.PreemptShift = Cfg.PreemptShift;
+  C.SingleFenceCommit = Cfg.SingleFenceCommit;
   C.Fault = Cfg.Fault;
   Tl2Stm Stm(C);
 
@@ -186,6 +187,7 @@ FuzzRunResult runLibTm(const FuzzPlan &Plan, uint64_t Seed,
 
   LibTmConfig C;
   C.PreemptShift = Cfg.PreemptShift;
+  C.SingleFenceCommit = Cfg.SingleFenceCommit;
   LibTm Tm(C);
 
   std::deque<TObj<uint64_t>> Objs;

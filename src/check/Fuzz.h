@@ -78,6 +78,11 @@ struct FuzzConfig {
   unsigned PreemptShift = 2;
   /// Observer-level perturbation (SchedulePerturber yield shift).
   unsigned PerturbShift = 2;
+  /// Commit ordering for the TL2/LibTm backends: true exercises the
+  /// single-fence writeback path (the runtime default), false the
+  /// standard advance-then-validate-then-publish ordering. CI smoke runs
+  /// sweep both (tools/check_fuzz.cpp).
+  bool SingleFenceCommit = true;
   /// Fault injection for the TL2 backends (mutation self-test only).
   Tl2FaultInjection Fault;
   CheckerConfig Checker;

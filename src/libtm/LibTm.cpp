@@ -29,9 +29,8 @@ void LibTxn::begin(TxId Tx) {
 void LibTxn::readWords(TObjBase &Obj, uint64_t *Out) {
   maybePreempt();
   // Read-after-write: serve the buffered payload.
-  auto It = WriteIndex.find(&Obj);
-  if (It != WriteIndex.end()) {
-    const uint64_t *Buffered = &WriteData[It->second];
+  if (const uint32_t *Pos = WriteIndex.find(&Obj)) {
+    const uint64_t *Buffered = &WriteData[*Pos];
     std::copy(Buffered, Buffered + Obj.numWords(), Out);
     if (TxAccessObserver *A = S.accessObserver())
       A->onTxLoad(Thread, &Obj, Out[0], /*Version=*/0, /*Buffered=*/true);
@@ -67,15 +66,15 @@ void LibTxn::writeWords(TObjBase &Obj, const uint64_t *In) {
   maybePreempt();
   if (TxAccessObserver *A = S.accessObserver())
     A->onTxStore(Thread, &Obj, In[0]);
-  auto It = WriteIndex.find(&Obj);
-  if (It != WriteIndex.end()) {
-    std::copy(In, In + Obj.numWords(), &WriteData[It->second]);
+  if (const uint32_t *Pos = WriteIndex.find(&Obj)) {
+    std::copy(In, In + Obj.numWords(), &WriteData[*Pos]);
     return;
   }
   size_t Offset = WriteData.size();
-  WriteIndex.emplace(&Obj, Offset);
+  WriteIndex.insert(&Obj, static_cast<uint32_t>(Offset));
   WriteObjs.push_back(&Obj);
-  WriteData.insert(WriteData.end(), In, In + Obj.numWords());
+  for (size_t I = 0, E = Obj.numWords(); I != E; ++I)
+    WriteData.push_back(In[I]);
 }
 
 void LibTxn::commitOrThrow(uint32_t PriorAborts) {
@@ -112,59 +111,106 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
           Thread, static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Obj)));
   }
 
-  uint64_t Wv = S.clock().advance();
-  if (Wv != Rv + 1) {
-    for (TObjBase *Obj : ReadSet) {
-      uint64_t Word = Obj->meta().load(std::memory_order_acquire);
-      StripeState State = LockTable::decode(Word);
-      if (State.Locked) {
-        if (State.Owner != Self) {
-          releaseAcquiredLocks();
-          abortOnOwner(State.Owner, AbortSite::CommitValidate);
-        }
-        // Locked by self (object is also written): validate the version
-        // the object had when we locked it, or a commit that interleaved
-        // between our read and our lock goes undetected.
-        auto It = std::lower_bound(
-            Acquired.begin(), Acquired.end(), Obj,
-            [](const std::pair<TObjBase *, uint64_t> &L, TObjBase *Ptr) {
-              return L.first < Ptr;
-            });
-        assert(It != Acquired.end() && It->first == Obj &&
-               "self-locked object missing from the acquired list");
-        StripeState PreLock = LockTable::decode(It->second);
-        if (PreLock.Version > Rv) {
-          releaseAcquiredLocks();
-          abortOnVersion(PreLock.Version, AbortSite::CommitValidate);
-        }
-        continue;
-      }
-      if (State.Version > Rv) {
-        releaseAcquiredLocks();
-        abortOnVersion(State.Version, AbortSite::CommitValidate);
-      }
+  const bool SingleFence = S.config().SingleFenceCommit;
+
+  uint64_t Wv;
+  if (SingleFence) {
+    // Single-fence commit (see LibTmConfig::SingleFenceCommit): validate
+    // unconditionally, write back, then advance the clock and publish
+    // all metadata with relaxed stores behind one release fence.
+    validateReadSet(Self);
+
+    for (size_t W = 0, E = WriteObjs.size(); W != E; ++W) {
+      TObjBase *Obj = WriteObjs[W];
+      const uint64_t *In = &WriteData[*WriteIndex.find(Obj)];
+      std::atomic<uint64_t> *Words = Obj->words();
+      for (size_t I = 0, N = Obj->numWords(); I != N; ++I)
+        Words[I].store(In[I], std::memory_order_release);
     }
-  }
+    std::atomic_thread_fence(std::memory_order_release);
 
-  S.commitRing().record(Wv, Self);
+    Wv = S.clock().advance();
+    S.commitRing().record(Wv, Self);
+    for (auto &[Obj, Old] : Acquired) {
+      (void)Old;
+      Obj->meta().store(LockTable::encodeVersion(Wv),
+                        std::memory_order_relaxed);
+    }
+    Acquired.clear();
+  } else {
+    Wv = S.clock().advance();
+    // TL2 clock elision: nothing committed since rv, reads still valid.
+    if (Wv != Rv + 1)
+      validateReadSet(Self);
 
-  for (TObjBase *Obj : WriteObjs) {
-    const uint64_t *In = &WriteData[WriteIndex[Obj]];
-    std::atomic<uint64_t> *Words = Obj->words();
-    for (size_t I = 0, E = Obj->numWords(); I != E; ++I)
-      Words[I].store(In[I], std::memory_order_release);
+    S.commitRing().record(Wv, Self);
+
+    for (size_t W = 0, E = WriteObjs.size(); W != E; ++W) {
+      TObjBase *Obj = WriteObjs[W];
+      const uint64_t *In = &WriteData[*WriteIndex.find(Obj)];
+      std::atomic<uint64_t> *Words = Obj->words();
+      for (size_t I = 0, N = Obj->numWords(); I != N; ++I)
+        Words[I].store(In[I], std::memory_order_release);
+    }
+    for (auto &[Obj, Old] : Acquired) {
+      (void)Old;
+      Obj->meta().store(LockTable::encodeVersion(Wv),
+                        std::memory_order_release);
+    }
+    Acquired.clear();
   }
-  for (auto &[Obj, Old] : Acquired) {
-    (void)Old;
-    Obj->meta().store(LockTable::encodeVersion(Wv),
-                      std::memory_order_release);
-  }
-  Acquired.clear();
 
   Shard->recordCommit(PriorAborts, /*ReadOnly=*/false);
   if (TxEventObserver *Obs = S.observer())
     Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts,
                               /*ReadOnly=*/false});
+}
+
+void LibTxn::validateReadSet(TxThreadPair Self) {
+  // Fast pass: branch-free OR-reduction, as in Tl2Txn::validateReadSet.
+  // A metadata word is suspicious iff locked (bit 0) or newer than rv.
+  TObjBase *const *Objs = ReadSet.data();
+  const size_t N = ReadSet.size();
+  const uint64_t Snapshot = Rv;
+  uint64_t Suspicious = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t W = Objs[I]->meta().load(std::memory_order_acquire);
+    Suspicious |= (W & 1) | static_cast<uint64_t>((W >> 1) > Snapshot);
+  }
+  if (Suspicious == 0)
+    return;
+
+  // Slow pass: full attribution. Objects this commit locked itself
+  // (read-then-written) always land here and validate against their
+  // pre-lock metadata, or a commit that interleaved between our read and
+  // our lock would go undetected.
+  for (TObjBase *Obj : ReadSet) {
+    uint64_t Word = Obj->meta().load(std::memory_order_acquire);
+    StripeState State = LockTable::decode(Word);
+    if (State.Locked) {
+      if (State.Owner != Self) {
+        releaseAcquiredLocks();
+        abortOnOwner(State.Owner, AbortSite::CommitValidate);
+      }
+      auto It = std::lower_bound(
+          Acquired.begin(), Acquired.end(), Obj,
+          [](const std::pair<TObjBase *, uint64_t> &L, TObjBase *Ptr) {
+            return L.first < Ptr;
+          });
+      assert(It != Acquired.end() && It->first == Obj &&
+             "self-locked object missing from the acquired list");
+      StripeState PreLock = LockTable::decode(It->second);
+      if (PreLock.Version > Rv) {
+        releaseAcquiredLocks();
+        abortOnVersion(PreLock.Version, AbortSite::CommitValidate);
+      }
+      continue;
+    }
+    if (State.Version > Rv) {
+      releaseAcquiredLocks();
+      abortOnVersion(State.Version, AbortSite::CommitValidate);
+    }
+  }
 }
 
 void LibTxn::releaseAcquiredLocks() {

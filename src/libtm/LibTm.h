@@ -43,14 +43,15 @@
 #include "stm/Tl2.h"
 #include "stm/VersionClock.h"
 #include "support/Ids.h"
+#include "support/MiniVector.h"
+#include "support/PtrIndexMap.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <type_traits>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
 namespace gstm {
 
@@ -114,6 +115,12 @@ private:
 /// Construction-time configuration of a LibTm runtime.
 struct LibTmConfig {
   unsigned CommitRingBits = 13;
+  /// Single-fence commit, as in Tl2Config::SingleFenceCommit: validate,
+  /// write back, then advance the clock and publish every object's
+  /// metadata with relaxed stores behind one release fence. Read-set
+  /// validation runs unconditionally in this mode (the `wv == rv+1`
+  /// elision is unsound once the clock advances after writeback).
+  bool SingleFenceCommit = true;
   BackoffKind Backoff = BackoffKind::Yield;
   /// Scheduler perturbation, as in Tl2Config::PreemptShift: yield with
   /// probability 2^-PreemptShift per object access to restore
@@ -231,6 +238,10 @@ private:
   void readWords(TObjBase &Obj, uint64_t *Out);
   void writeWords(TObjBase &Obj, const uint64_t *In);
   void commitOrThrow(uint32_t PriorAborts);
+  /// Commit-time read-set revalidation (branch-free fast pass over the
+  /// metadata words, attribution walk only when something is suspicious);
+  /// releases the acquired locks and throws on conflict.
+  void validateReadSet(TxThreadPair Self);
   void backoff(uint32_t Attempts) const;
 
   [[noreturn]] void abortOnOwner(TxThreadPair Owner, AbortSite Site);
@@ -264,14 +275,17 @@ private:
   uint64_t Rv = 0;
   uint64_t PreemptLcg;
 
-  std::vector<TObjBase *> ReadSet;
+  /// Per-attempt logs; inline-capacity containers for the same reasons
+  /// as Tl2Txn's (no heap traffic for common transaction sizes, O(1)
+  /// clear in begin(), grown capacity retained across the retry loop).
+  MiniVector<TObjBase *, 64> ReadSet;
   /// Write set: object -> offset into WriteData (object's buffered
   /// payload words).
-  std::vector<TObjBase *> WriteObjs;
-  std::unordered_map<TObjBase *, size_t> WriteIndex;
-  std::vector<uint64_t> WriteData;
+  MiniVector<TObjBase *, 32> WriteObjs;
+  PtrIndexMap<uint32_t, 5> WriteIndex;
+  MiniVector<uint64_t, 64> WriteData;
   /// Pre-lock metadata of objects locked so far during commit.
-  std::vector<std::pair<TObjBase *, uint64_t>> Acquired;
+  MiniVector<std::pair<TObjBase *, uint64_t>, 32> Acquired;
 };
 
 } // namespace gstm

@@ -201,8 +201,14 @@ private:
     const Token &Prev = I > Begin ? at(I - 1) : Token{};
     const Token &Next = at(I + 1);
 
-    // R2: keyword-form allocation.
-    if (N == "new" && !Prev.isIdent("operator")) {
+    // R2: keyword-form allocation. Placement syntax (`new (addr) T`,
+    // recognized by the `(` right after the keyword) constructs into
+    // storage the caller already owns — no allocation to leak on abort —
+    // so it is exempt; the transaction-log containers (MiniVector) build
+    // elements that way on their hot path. The nothrow form rides the
+    // same exemption, an accepted blind spot: it is placement syntax
+    // lexically and vanishingly rare in transactional code.
+    if (N == "new" && !Prev.isIdent("operator") && !Next.isPunct("(")) {
       report(Rule::Irrevocable, Tk.Line,
              "heap allocation ('new') inside transaction body; aborted "
              "attempts leak or double-construct");

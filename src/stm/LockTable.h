@@ -32,6 +32,20 @@
 
 namespace gstm {
 
+/// How a word address maps to its stripe index (Tl2Config::StripeHash).
+enum class StripeHashKind : uint8_t {
+  /// Single Fibonacci multiply, index from the top bits. One cycle-ish,
+  /// but consecutive words land on consecutive-ish stripes and the low
+  /// address bits barely diffuse, so allocation-correlated pointers can
+  /// clump into stripe runs.
+  Fibonacci,
+  /// Murmur3-style avalanche finalizer (xor-shift / multiply twice),
+  /// index from the low bits. Two multiplies instead of one, but every
+  /// address bit reaches every index bit — measurably fewer false
+  /// stripe conflicts on pointer-heavy working sets.
+  Mix,
+};
+
 /// A stripe word snapshot, decoded.
 struct StripeState {
   bool Locked;
@@ -44,9 +58,11 @@ struct StripeState {
 /// Fixed-size table of versioned stripe locks, indexed by address hash.
 class LockTable {
 public:
-  /// Creates a table with 2^\p Bits stripes, all unlocked at version 0.
-  explicit LockTable(unsigned Bits = 20)
-      : BitCount(Bits), Mask((size_t{1} << Bits) - 1),
+  /// Creates a table with 2^\p Bits stripes, all unlocked at version 0,
+  /// indexed via \p Hash.
+  explicit LockTable(unsigned Bits = 20,
+                     StripeHashKind Hash = StripeHashKind::Fibonacci)
+      : BitCount(Bits), Mask((size_t{1} << Bits) - 1), Kind(Hash),
         Stripes(new std::atomic<uint64_t>[size_t{1} << Bits]) {
     assert(Bits >= 4 && Bits <= 28 && "unreasonable lock table size");
     for (size_t I = 0; I <= Mask; ++I)
@@ -64,10 +80,20 @@ public:
   /// Returns the stripe index covering \p Addr (exposed for commit-time
   /// lock ordering and for tests).
   size_t indexFor(const void *Addr) const {
-    auto Key = reinterpret_cast<uintptr_t>(Addr) >> 3;
+    uint64_t Key = reinterpret_cast<uintptr_t>(Addr) >> 3;
+    if (Kind == StripeHashKind::Mix) {
+      Key ^= Key >> 33;
+      Key *= 0xff51afd7ed558ccdULL;
+      Key ^= Key >> 29;
+      Key *= 0xc4ceb9fe1a85ec53ULL;
+      Key ^= Key >> 32;
+      return static_cast<size_t>(Key) & Mask;
+    }
     // Fibonacci hashing spreads consecutive words across stripes.
     return (Key * 0x9e3779b97f4a7c15ULL >> (64 - BitCount)) & Mask;
   }
+
+  StripeHashKind hashKind() const { return Kind; }
 
   std::atomic<uint64_t> &stripeAt(size_t Index) {
     assert(Index <= Mask && "stripe index out of range");
@@ -97,6 +123,7 @@ public:
 private:
   unsigned BitCount;
   size_t Mask;
+  StripeHashKind Kind;
   std::unique_ptr<std::atomic<uint64_t>[]> Stripes;
 };
 

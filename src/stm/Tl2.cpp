@@ -30,10 +30,10 @@ bool Tl2Txn::lookupWriteSet(const std::atomic<uint64_t> *Addr,
                             uint64_t &Value) {
   if ((WriteFilter & filterSignature(Addr)) == 0)
     return false;
-  auto It = WriteIndex.find(Addr);
-  if (It == WriteIndex.end())
+  const uint32_t *Pos = WriteIndex.find(Addr);
+  if (!Pos)
     return false;
-  Value = WriteLog[It->second].Value;
+  Value = WriteLog[*Pos].Value;
   return true;
 }
 
@@ -93,14 +93,13 @@ void Tl2Txn::storeWord(std::atomic<uint64_t> &Word, uint64_t Value) {
     A->onTxStore(Thread, &Word, Value);
   uint64_t Sig = filterSignature(&Word);
   if ((WriteFilter & Sig) != 0) {
-    auto It = WriteIndex.find(&Word);
-    if (It != WriteIndex.end()) {
-      WriteLog[It->second].Value = Value;
+    if (const uint32_t *Pos = WriteIndex.find(&Word)) {
+      WriteLog[*Pos].Value = Value;
       return;
     }
   }
   WriteFilter |= Sig;
-  WriteIndex.emplace(&Word, static_cast<uint32_t>(WriteLog.size()));
+  WriteIndex.insert(&Word, static_cast<uint32_t>(WriteLog.size()));
   WriteLog.push_back(WriteEntry{&Word, Value});
 }
 
@@ -165,9 +164,9 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
   for (const WriteEntry &E : WriteLog)
     StripeScratch.push_back(S.lockTable().indexFor(E.Addr));
   std::sort(StripeScratch.begin(), StripeScratch.end());
-  StripeScratch.erase(
-      std::unique(StripeScratch.begin(), StripeScratch.end()),
-      StripeScratch.end());
+  StripeScratch.truncate(static_cast<size_t>(
+      std::unique(StripeScratch.begin(), StripeScratch.end()) -
+      StripeScratch.begin()));
 
   for (size_t Index : StripeScratch) {
     std::atomic<uint64_t> &Stripe = S.lockTable().stripeAt(Index);
@@ -195,63 +194,124 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
                 return A.StripeIndex < B.StripeIndex;
               });
 
-  uint64_t Wv = S.clock().advance();
+  const Tl2Config &Cfg = S.config();
+  // The torn-publish mutant exercises the legacy publish ordering, so it
+  // pins the standard path.
+  const bool SingleFence =
+      Cfg.SingleFenceCommit && !Cfg.Fault.TornVersionPublish;
 
-  // TL2 optimization: if no commit interleaved between our rv sample and
-  // our clock advance, the read set cannot have changed.
-  // (Fault.SkipReadValidation is the self-test mutant that omits this
-  // revalidation entirely; see Tl2FaultInjection.)
-  if (Wv != Rv + 1 && !S.config().Fault.SkipReadValidation) {
-    for (const std::atomic<uint64_t> *Stripe : ReadSet) {
-      uint64_t Word = Stripe->load(std::memory_order_acquire);
-      StripeState State = LockTable::decode(Word);
-      if (State.Locked) {
-        if (State.Owner != Self)
-          abortOnOwner(State.Owner, AbortSite::CommitValidate);
-        // Locked by self: the stripe is in our write set, but the read
-        // that logged it must still be validated against the version the
-        // stripe had when *we* locked it — otherwise a commit that slid
-        // in between our read and our lock acquisition goes undetected
-        // and its update is silently overwritten.
-        uint64_t PreLock = preLockWordFor(Stripe);
-        StripeState PreLockState = LockTable::decode(PreLock);
-        if (PreLockState.Version > Rv)
-          abortOnVersion(PreLockState.Version, AbortSite::CommitValidate);
-        continue;
-      }
-      if (State.Version > Rv)
-        abortOnVersion(State.Version, AbortSite::CommitValidate);
-    }
-  }
+  uint64_t Wv;
+  if (SingleFence) {
+    // Single-fence commit: validate, write the data back, and only then
+    // advance the clock and publish the versions — the N release-store
+    // publish loop becomes relaxed stores behind one release fence.
+    //
+    // Validation must be UNCONDITIONAL here. The standard path's
+    // `wv == rv+1` elision reasons "no commit interleaved between my rv
+    // sample and my clock advance"; with the advance moved after
+    // writeback, two cyclically-conflicting writers could both observe a
+    // quiescent clock, both skip validation, and both commit a lost
+    // update. The branch-free fast pass keeps the unconditional check
+    // cheap. (Fault.SkipReadValidation is the self-test mutant that
+    // omits revalidation entirely; see Tl2FaultInjection.)
+    if (!Cfg.Fault.SkipReadValidation)
+      validateReadSet(Self);
 
-  // Publish attribution before making the new version visible so that a
-  // victim observing version Wv can already resolve the committer.
-  S.commitRing().record(Wv, Self);
-
-  if (S.config().Fault.TornVersionPublish) {
-    // Self-test mutant: release the locks at the new version *before*
-    // writing the data back, with a yield in between to widen the window
-    // in which readers validate new-version stripes over old data.
-    for (const AcquiredLock &L : Acquired)
-      S.lockTable().stripeAt(L.StripeIndex)
-          .store(LockTable::encodeVersion(Wv), std::memory_order_release);
-    std::this_thread::yield();
     for (const WriteEntry &E : WriteLog)
       E.Addr->store(E.Value, std::memory_order_release);
+
+    // One fence orders the writeback (and, in eager mode, the in-place
+    // stores) before every version publish: a reader whose acquire load
+    // of a stripe observes one of the relaxed stores below synchronizes
+    // with this fence ([atomics.fences]) and therefore sees the new
+    // data, exactly as it would have with per-stripe release stores.
+    std::atomic_thread_fence(std::memory_order_release);
+
+    Wv = S.clock().advance();
+    // Publish attribution before the new version becomes visible so a
+    // victim observing Wv can already resolve the committer.
+    S.commitRing().record(Wv, Self);
+    for (const AcquiredLock &L : Acquired)
+      S.lockTable().stripeAt(L.StripeIndex)
+          .store(LockTable::encodeVersion(Wv), std::memory_order_relaxed);
     Acquired.clear();
   } else {
-    for (const WriteEntry &E : WriteLog)
-      E.Addr->store(E.Value, std::memory_order_release);
-    for (const AcquiredLock &L : Acquired)
-      S.lockTable().stripeAt(L.StripeIndex)
-          .store(LockTable::encodeVersion(Wv), std::memory_order_release);
-    Acquired.clear();
+    Wv = S.clock().advance();
+
+    // TL2 optimization: if no commit interleaved between our rv sample
+    // and our clock advance, the read set cannot have changed.
+    if (Wv != Rv + 1 && !Cfg.Fault.SkipReadValidation)
+      validateReadSet(Self);
+
+    S.commitRing().record(Wv, Self);
+
+    if (Cfg.Fault.TornVersionPublish) {
+      // Self-test mutant: release the locks at the new version *before*
+      // writing the data back, with a yield in between to widen the
+      // window in which readers validate new-version stripes over old
+      // data.
+      for (const AcquiredLock &L : Acquired)
+        S.lockTable().stripeAt(L.StripeIndex)
+            .store(LockTable::encodeVersion(Wv), std::memory_order_release);
+      std::this_thread::yield();
+      for (const WriteEntry &E : WriteLog)
+        E.Addr->store(E.Value, std::memory_order_release);
+      Acquired.clear();
+    } else {
+      for (const WriteEntry &E : WriteLog)
+        E.Addr->store(E.Value, std::memory_order_release);
+      for (const AcquiredLock &L : Acquired)
+        S.lockTable().stripeAt(L.StripeIndex)
+            .store(LockTable::encodeVersion(Wv), std::memory_order_release);
+      Acquired.clear();
+    }
   }
 
   Shard->recordCommit(PriorAborts, /*ReadOnly=*/false);
   if (TxEventObserver *Obs = S.observer())
     Obs->onCommit(CommitEvent{Thread, CurrentTx, Wv, PriorAborts,
                               /*ReadOnly=*/false});
+}
+
+void Tl2Txn::validateReadSet(TxThreadPair Self) {
+  // Fast pass: branch-free OR-reduction over the read set. A stripe word
+  // is suspicious iff it is locked (bit 0) or carries a version newer
+  // than rv; both conditions fold into the accumulator without a single
+  // conditional inside the loop, so the common all-clean case runs as a
+  // straight load/or chain the CPU can pipeline.
+  const std::atomic<uint64_t> *const *Stripes = ReadSet.data();
+  const size_t N = ReadSet.size();
+  const uint64_t Snapshot = Rv;
+  uint64_t Suspicious = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t W = Stripes[I]->load(std::memory_order_acquire);
+    Suspicious |= (W & 1) | static_cast<uint64_t>((W >> 1) > Snapshot);
+  }
+  if (Suspicious == 0)
+    return;
+
+  // Slow pass: something was locked or too new — re-walk with full
+  // attribution. Stripes this commit locked itself (read-then-written
+  // locations) always land here; their reads are validated against the
+  // pre-lock word, or a commit that slid in between our read and our
+  // lock acquisition would go undetected and be silently overwritten.
+  // Sound even though the words are re-read: versions only grow, and a
+  // stripe that went clean in between is genuinely clean.
+  for (const std::atomic<uint64_t> *Stripe : ReadSet) {
+    uint64_t Word = Stripe->load(std::memory_order_acquire);
+    StripeState State = LockTable::decode(Word);
+    if (State.Locked) {
+      if (State.Owner != Self)
+        abortOnOwner(State.Owner, AbortSite::CommitValidate);
+      uint64_t PreLock = preLockWordFor(Stripe);
+      StripeState PreLockState = LockTable::decode(PreLock);
+      if (PreLockState.Version > Rv)
+        abortOnVersion(PreLockState.Version, AbortSite::CommitValidate);
+      continue;
+    }
+    if (State.Version > Rv)
+      abortOnVersion(State.Version, AbortSite::CommitValidate);
+  }
 }
 
 uint64_t Tl2Txn::preLockWordFor(const std::atomic<uint64_t> *Stripe) const {

@@ -42,6 +42,8 @@
 #include "stm/StatsShard.h"
 #include "stm/VersionClock.h"
 #include "support/Ids.h"
+#include "support/MiniVector.h"
+#include "support/PtrIndexMap.h"
 
 #include <chrono>
 
@@ -49,8 +51,7 @@
 #include <cstdint>
 #include <thread>
 #include <type_traits>
-#include <unordered_map>
-#include <vector>
+#include <utility>
 
 namespace gstm {
 
@@ -104,6 +105,21 @@ struct Tl2Config {
   unsigned LockTableBits = 20;
   unsigned CommitRingBits = 13;
   ConflictDetection Detection = ConflictDetection::Lazy;
+  /// Address-to-stripe hash (see StripeHashKind). Mix by default: its
+  /// full-avalanche indexing measurably cuts false stripe conflicts on
+  /// pointer-heavy working sets; Fibonacci remains available for A/B
+  /// comparisons against stock TL2.
+  StripeHashKind StripeHash = StripeHashKind::Mix;
+  /// Single-fence commit (2PLSF/zardoshti "SINGLEFENCEOPT" lineage):
+  /// writers validate, write the data back, then advance the clock and
+  /// publish the stripe versions with relaxed stores behind one release
+  /// fence — N release stores on the publish path collapse into one
+  /// fence. Costs the `wv == rv+1` validation-elision (which is unsound
+  /// once the clock advances after writeback; see Tl2.cpp), so
+  /// single-threaded writers revalidate their read sets — the branch-free
+  /// validation loop keeps that cheap. Ignored (standard ordering) when
+  /// Fault.TornVersionPublish needs the legacy publish path.
+  bool SingleFenceCommit = true;
   BackoffKind Backoff = BackoffKind::Yield;
   /// Scheduler perturbation: when non-zero, each transactional access
   /// yields the CPU with probability 2^-PreemptShift. On a machine with
@@ -127,8 +143,8 @@ struct Tl2Config {
 class Tl2Stm {
 public:
   explicit Tl2Stm(const Tl2Config &Config = Tl2Config())
-      : Cfg(Config), Locks(Config.LockTableBits), Ring(Config.CommitRingBits) {
-  }
+      : Cfg(Config), Locks(Config.LockTableBits, Config.StripeHash),
+        Ring(Config.CommitRingBits) {}
 
   Tl2Stm(const Tl2Stm &) = delete;
   Tl2Stm &operator=(const Tl2Stm &) = delete;
@@ -274,6 +290,12 @@ private:
   void begin(TxId Tx);
   /// Commits the attempt or reports the abort cause and throws.
   void commitOrThrow(uint32_t PriorAborts);
+  /// Commit-time read-set revalidation: every read stripe must still be
+  /// unlocked (or self-locked at a pre-lock version <= rv) and at a
+  /// version <= rv. Throws on conflict. A branch-free OR-reduction pass
+  /// clears the common all-clean case without a single conditional; only
+  /// a suspicious read set pays the per-stripe attribution walk.
+  void validateReadSet(TxThreadPair Self);
   void backoff(uint32_t Attempts) const;
 
   /// Eager-mode store: lock the stripe at first touch, log the old value
@@ -343,16 +365,22 @@ private:
   bool LastEnemyKnown = false;
   uint64_t LastOpens = 0;
 
-  std::vector<const std::atomic<uint64_t> *> ReadSet;
-  std::vector<WriteEntry> WriteLog;
-  std::unordered_map<const void *, uint32_t> WriteIndex;
+  /// Per-attempt logs. MiniVector/PtrIndexMap rather than std::vector /
+  /// std::unordered_map: the inline capacities below cover the common
+  /// transaction sizes without touching the heap, `clear()` in begin() is
+  /// O(1) (a count store / generation bump, not a bucket walk), and any
+  /// heap growth a large first attempt does pay is retained across the
+  /// retry loop — an attempt after the first never allocates.
+  MiniVector<const std::atomic<uint64_t> *, 64> ReadSet;
+  MiniVector<WriteEntry, 32> WriteLog;
+  PtrIndexMap<uint32_t, 5> WriteIndex;
   uint64_t WriteFilter = 0;
-  std::vector<size_t> StripeScratch;
-  std::vector<AcquiredLock> Acquired;
+  MiniVector<size_t, 32> StripeScratch;
+  MiniVector<AcquiredLock, 32> Acquired;
   /// Eager mode: (address, previous value) pairs, restored in reverse on
   /// abort. Duplicate addresses are fine — reverse restore ends at the
   /// oldest value.
-  std::vector<std::pair<std::atomic<uint64_t> *, uint64_t>> UndoLog;
+  MiniVector<std::pair<std::atomic<uint64_t> *, uint64_t>, 32> UndoLog;
 };
 
 } // namespace gstm

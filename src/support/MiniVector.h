@@ -1,0 +1,287 @@
+//===- support/MiniVector.h - Inline-capacity log vector -----------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with inline storage for the first \p InlineN elements, built
+/// for the per-transaction logs on the STM hot path (read set, redo/undo
+/// log, acquired-lock list). Design goals, in order:
+///
+///  * **No heap traffic after warmup.** Short transactions (the common
+///    case) never allocate: the log lives inside the descriptor. Long
+///    transactions allocate once, and `clear()` keeps the heap block, so
+///    a retry loop re-runs entirely allocation-free.
+///  * **O(1) clear.** For trivially destructible T, `clear()` is a single
+///    store of the count — no per-element work, no bucket walking (the
+///    `unordered_map::clear()` cost this type exists to remove).
+///  * **POD-aware growth.** Trivially copyable payloads relocate with one
+///    `memcpy`; everything else is move-constructed element-wise.
+///
+/// Semantics match std::vector where implemented, with two deliberate
+/// differences: capacity never shrinks, and growth invalidates pointers
+/// into the old buffer (as vector) — but `reserve()`d capacity guarantees
+/// pointer stability until exceeded, which tests pin down.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_MINIVECTOR_H
+#define GSTM_SUPPORT_MINIVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <iterator>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gstm {
+
+template <typename T, size_t InlineN> class MiniVector {
+  static_assert(InlineN > 0, "inline capacity must be non-zero");
+
+public:
+  using value_type = T;
+  using iterator = T *;
+  using const_iterator = const T *;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  MiniVector() : Data(inlineBuf()), Count(0), Cap(InlineN) {}
+
+  MiniVector(const MiniVector &Other) : MiniVector() { appendAll(Other); }
+
+  MiniVector(MiniVector &&Other) noexcept(
+      std::is_nothrow_move_constructible_v<T>)
+      : MiniVector() {
+    stealOrMove(std::move(Other));
+  }
+
+  MiniVector &operator=(const MiniVector &Other) {
+    if (this == &Other)
+      return *this;
+    clear();
+    appendAll(Other);
+    return *this;
+  }
+
+  MiniVector &operator=(MiniVector &&Other) noexcept(
+      std::is_nothrow_move_constructible_v<T>) {
+    if (this == &Other)
+      return *this;
+    clear();
+    if (!onHeap()) {
+      stealOrMove(std::move(Other));
+      return *this;
+    }
+    // We already own a heap block; keep the larger of the two buffers so
+    // capacity never regresses across assignment.
+    if (Other.onHeap() && Other.Cap > Cap) {
+      freeBuffer(Data);
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Count = Other.Count;
+      Other.resetToInline();
+      return *this;
+    }
+    for (size_t I = 0; I < Other.Count; ++I)
+      push_back(std::move(Other.Data[I]));
+    Other.clear();
+    return *this;
+  }
+
+  ~MiniVector() {
+    clear();
+    if (onHeap())
+      freeBuffer(Data);
+  }
+
+  size_t size() const { return Count; }
+  size_t capacity() const { return Cap; }
+  bool empty() const { return Count == 0; }
+  /// True once the log spilled out of the descriptor-inline buffer.
+  bool onHeap() const { return Data != inlineBuf(); }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+  iterator begin() { return Data; }
+  iterator end() { return Data + Count; }
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + Count; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  T &operator[](size_t I) {
+    assert(I < Count && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Count && "index out of range");
+    return Data[I];
+  }
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Count - 1]; }
+
+  /// Drops all elements, retaining whatever capacity has been grown: the
+  /// next attempt of a retry loop appends into already-owned storage.
+  void clear() {
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      for (size_t I = 0; I < Count; ++I)
+        Data[I].~T();
+    Count = 0;
+  }
+
+  void reserve(size_t NewCap) {
+    if (NewCap > Cap)
+      grow(NewCap);
+  }
+
+  void push_back(const T &V) {
+    if (Count == Cap) {
+      appendSlow(V);
+      return;
+    }
+    new (Data + Count) T(V);
+    ++Count;
+  }
+
+  void push_back(T &&V) {
+    if (Count == Cap) {
+      appendSlow(std::move(V));
+      return;
+    }
+    new (Data + Count) T(std::move(V));
+    ++Count;
+  }
+
+  template <typename... Args> T &emplace_back(Args &&...A) {
+    if (Count == Cap)
+      return appendSlow(T(std::forward<Args>(A)...));
+    T *Slot = new (Data + Count) T(std::forward<Args>(A)...);
+    ++Count;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(Count > 0 && "pop_back on empty MiniVector");
+    --Count;
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      Data[Count].~T();
+  }
+
+  /// Shrinks to the first \p N elements (capacity untouched). Replaces
+  /// the `erase(unique(..), end())` idiom:
+  /// `v.truncate(std::unique(v.begin(), v.end()) - v.begin())`.
+  void truncate(size_t N) {
+    assert(N <= Count && "truncate cannot grow");
+    if constexpr (!std::is_trivially_destructible_v<T>)
+      for (size_t I = N; I < Count; ++I)
+        Data[I].~T();
+    Count = N;
+  }
+
+private:
+  T *inlineBuf() { return reinterpret_cast<T *>(InlineStorage); }
+  const T *inlineBuf() const {
+    return reinterpret_cast<const T *>(InlineStorage);
+  }
+
+  static T *allocBuffer(size_t N) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__)
+      return static_cast<T *>(
+          ::operator new(N * sizeof(T), std::align_val_t(alignof(T))));
+    else
+      return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+
+  static void freeBuffer(T *P) {
+    if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__)
+      ::operator delete(static_cast<void *>(P),
+                        std::align_val_t(alignof(T)));
+    else
+      ::operator delete(static_cast<void *>(P));
+  }
+
+  void resetToInline() {
+    Data = inlineBuf();
+    Count = 0;
+    Cap = InlineN;
+  }
+
+  /// Relocates into a fresh buffer of \p NewCap (which must exceed Cap).
+  void grow(size_t NewCap) {
+    T *NewData = allocBuffer(NewCap);
+    relocateInto(NewData);
+    if (onHeap())
+      freeBuffer(Data);
+    Data = NewData;
+    Cap = NewCap;
+  }
+
+  void relocateInto(T *Dest) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      if (Count > 0)
+        std::memcpy(static_cast<void *>(Dest),
+                    static_cast<const void *>(Data), Count * sizeof(T));
+    } else {
+      for (size_t I = 0; I < Count; ++I) {
+        new (Dest + I) T(std::move(Data[I]));
+        Data[I].~T();
+      }
+    }
+  }
+
+  /// Full-buffer append. Constructs the new element into the new buffer
+  /// *before* the old one is released, so `v.push_back(v[0])`-style
+  /// aliasing across the grow boundary reads a still-live source.
+  template <typename U> T &appendSlow(U &&V) {
+    size_t NewCap = Cap * 2;
+    T *NewData = allocBuffer(NewCap);
+    T *Slot = new (NewData + Count) T(std::forward<U>(V));
+    relocateInto(NewData);
+    if (onHeap())
+      freeBuffer(Data);
+    Data = NewData;
+    Cap = NewCap;
+    ++Count;
+    return *Slot;
+  }
+
+  void appendAll(const MiniVector &Other) {
+    reserve(Other.Count);
+    for (size_t I = 0; I < Other.Count; ++I)
+      push_back(Other.Data[I]);
+  }
+
+  void stealOrMove(MiniVector &&Other) {
+    assert(Count == 0 && !onHeap() && "stealOrMove needs a fresh target");
+    if (Other.onHeap()) {
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Count = Other.Count;
+      Other.resetToInline();
+      return;
+    }
+    for (size_t I = 0; I < Other.Count; ++I)
+      push_back(std::move(Other.Data[I]));
+    Other.clear();
+  }
+
+  T *Data;
+  size_t Count;
+  size_t Cap;
+  alignas(alignof(T)) unsigned char InlineStorage[InlineN * sizeof(T)];
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_MINIVECTOR_H

@@ -1,0 +1,169 @@
+//===- support/PtrIndexMap.h - Open-addressed pointer index map ----------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The write-set index of a transaction descriptor: pointer key -> small
+/// integer payload (redo-log position). Replaces `std::unordered_map`,
+/// which paid a hash + allocation per insert and a full bucket walk on
+/// every `clear()` — per-attempt costs on the STM hot path.
+///
+///  * **Open addressing, linear probing, power-of-two capacity.** One
+///    multiplicative hash, then contiguous probes: at the ≤50% load factor
+///    maintained here probe chains are short and stay in one or two cache
+///    lines.
+///  * **Generation-stamped slots, O(1) clear.** A slot is live iff its
+///    stamp equals the map's current generation; `clear()` increments the
+///    generation and touches no slot memory. On the (rare) u32 generation
+///    wrap the table is memset once.
+///  * **Inline first table.** The initial 2^InlineBits slots live inside
+///    the descriptor; growth (doubling, rehash-all) allocates once and is
+///    retained across `clear()`, so retry loops never rehash.
+///
+/// Not thread-safe: one instance per worker thread, like the logs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_PTRINDEXMAP_H
+#define GSTM_SUPPORT_PTRINDEXMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+
+namespace gstm {
+
+template <typename V, unsigned InlineBits = 5> class PtrIndexMap {
+  static_assert(InlineBits >= 1 && InlineBits <= 16,
+                "unreasonable inline table size");
+
+public:
+  PtrIndexMap() { resetTable(InlineSlots, InlineBits); }
+
+  PtrIndexMap(const PtrIndexMap &) = delete;
+  PtrIndexMap &operator=(const PtrIndexMap &) = delete;
+
+  ~PtrIndexMap() {
+    if (Slots != InlineSlots)
+      delete[] Slots;
+  }
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  size_t capacity() const { return Mask + 1; }
+
+  /// Drops every entry without touching slot memory (generation bump).
+  /// Capacity — including a grown heap table — is retained.
+  void clear() {
+    Count = 0;
+    if (++Gen == 0) { // u32 wrap: stamps from the old epoch could alias
+      std::memset(static_cast<void *>(Slots), 0,
+                  (Mask + 1) * sizeof(Slot));
+      Gen = 1;
+    }
+  }
+
+  /// Returns a pointer to the value stored under \p Key, or nullptr.
+  V *find(const void *Key) {
+    size_t I = hash(Key) & Mask;
+    for (;;) {
+      Slot &S = Slots[I];
+      if (S.Stamp != Gen || S.Key == nullptr)
+        return nullptr;
+      if (S.Key == Key)
+        return &S.Val;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  /// Inserts (\p Key, \p Val); \p Key must not already be present (the
+  /// write paths always `find` first).
+  void insert(const void *Key, V Val) {
+    assert(Key != nullptr && "null keys are the empty-slot sentinel");
+    if ((Count + 1) * 2 > Mask + 1)
+      growRehash();
+    size_t I = hash(Key) & Mask;
+    for (;;) {
+      Slot &S = Slots[I];
+      if (S.Stamp != Gen || S.Key == nullptr) {
+        S.Key = Key;
+        S.Val = Val;
+        S.Stamp = Gen;
+        ++Count;
+        return;
+      }
+      assert(S.Key != Key && "duplicate insert");
+      I = (I + 1) & Mask;
+    }
+  }
+
+private:
+  struct Slot {
+    const void *Key = nullptr;
+    V Val{};
+    uint32_t Stamp = 0;
+  };
+
+  static size_t hash(const void *Key) {
+    // SplitMix64 finalizer over the pointer bits: cheap, and mixes the
+    // high bits that allocation patterns leave correlated.
+    uint64_t X = reinterpret_cast<uintptr_t>(Key);
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ULL;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebULL;
+    X ^= X >> 31;
+    return static_cast<size_t>(X);
+  }
+
+  void resetTable(Slot *Table, unsigned Bits) {
+    Slots = Table;
+    Mask = (size_t{1} << Bits) - 1;
+    Count = 0;
+    Gen = 1;
+    for (size_t I = 0; I <= Mask; ++I)
+      Slots[I] = Slot{};
+  }
+
+  void growRehash() {
+    Slot *Old = Slots;
+    size_t OldMask = Mask;
+    uint32_t OldGen = Gen;
+    size_t NewCap = (Mask + 1) * 2;
+    Slot *Table = new Slot[NewCap];
+    Slots = Table;
+    Mask = NewCap - 1;
+    Gen = 1;
+    size_t Rehomed = 0;
+    for (size_t I = 0; I <= OldMask; ++I) {
+      const Slot &S = Old[I];
+      if (S.Stamp != OldGen || S.Key == nullptr)
+        continue;
+      size_t J = hash(S.Key) & Mask;
+      while (Slots[J].Key != nullptr)
+        J = (J + 1) & Mask;
+      Slots[J].Key = S.Key;
+      Slots[J].Val = S.Val;
+      Slots[J].Stamp = Gen;
+      ++Rehomed;
+    }
+    Count = Rehomed;
+    if (Old != InlineSlots)
+      delete[] Old;
+  }
+
+  Slot *Slots;
+  size_t Mask;
+  size_t Count = 0;
+  uint32_t Gen = 1;
+  Slot InlineSlots[size_t{1} << InlineBits];
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_PTRINDEXMAP_H

@@ -25,7 +25,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
-          --target tl2_test check_fuzz model_lifecycle_test
+          --target tl2_test check_fuzz model_lifecycle_test minivector_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "asan sub-build compile failed (${BuildRc})")
@@ -43,11 +43,23 @@ if(NOT Tl2Rc EQUAL 0)
   message(FATAL_ERROR "tl2_test failed under asan (${Tl2Rc})")
 endif()
 
+# --commit-order=both sweeps the single-fence and standard commit
+# publication orders, so the fence-path writeback is ASan-covered too.
 execute_process(
-  COMMAND ${BUILD_DIR}/tools/check_fuzz --iters=64
+  COMMAND ${BUILD_DIR}/tools/check_fuzz --iters=64 --commit-order=both
   RESULT_VARIABLE FuzzRc)
 if(NOT FuzzRc EQUAL 0)
   message(FATAL_ERROR "check_fuzz failed under asan (${FuzzRc})")
+endif()
+
+# Transaction-log containers: the grow/relocate/alias paths in
+# MiniVector and PtrIndexMap are exactly where a lifetime bug would
+# live, and the uninstrumented test can pass while reading freed memory.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/minivector_test
+  RESULT_VARIABLE MiniRc)
+if(NOT MiniRc EQUAL 0)
+  message(FATAL_ERROR "minivector_test failed under asan (${MiniRc})")
 endif()
 
 # Model-loader robustness: the serialization round-trip and corruption

@@ -24,7 +24,7 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
-          --target stats_test tl2_test
+          --target stats_test tl2_test minivector_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "tsan sub-build compile failed (${BuildRc})")
@@ -42,12 +42,25 @@ if(NOT StatsRc EQUAL 0)
   message(FATAL_ERROR "stats_test failed under tsan (${StatsRc})")
 endif()
 
+# The concurrent TL2 tests run with Tl2Config::SingleFenceCommit at its
+# default (on), so TSan checks the fence-based commit publication — the
+# relaxed stripe-version stores behind one release fence — against real
+# racing readers.
 execute_process(
   COMMAND ${BUILD_DIR}/tests/tl2_test
           --gtest_filter=Tl2Test.Concurrent*:Tl2Test.BankTransfer*:Tl2Test.Snapshot*:Tl2Test.AbortEvents*
   RESULT_VARIABLE Tl2Rc)
 if(NOT Tl2Rc EQUAL 0)
   message(FATAL_ERROR "tl2_test failed under tsan (${Tl2Rc})")
+endif()
+
+# Containers are single-owner by design; running their suite under TSan
+# asserts that no hidden sharing crept into the grow/clear paths.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/minivector_test
+  RESULT_VARIABLE MiniRc)
+if(NOT MiniRc EQUAL 0)
+  message(FATAL_ERROR "minivector_test failed under tsan (${MiniRc})")
 endif()
 
 message(STATUS "tsan smoke passed")

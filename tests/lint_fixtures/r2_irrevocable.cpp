@@ -14,9 +14,13 @@ struct Node {
 
 std::mutex M;
 
+char Slab[sizeof(Node)];
+
 void txnBody(Tl2Txn &Tx) {
   Node *N = new Node{1};                       // expect-diag(R2)
   delete N;                                    // expect-diag(R2)
+  Node *InPlace = new (Slab) Node{2};          // placement: no diag
+  (void)InPlace;
   void *P = std::malloc(16);                   // expect-diag(R2)
   std::free(P);                                // expect-diag(R2)
   std::printf("inside txn\n");                 // expect-diag(R2)

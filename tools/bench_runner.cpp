@@ -1,0 +1,371 @@
+//===- tools/bench_runner.cpp - Perf trajectory snapshot runner -----------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Executes the repo's benchmark battery and persists one schema-versioned
+// perf snapshot:
+//
+//   * micro  — spawns bench/micro_stm_ops with --json-dir and ingests its
+//              google-benchmark JSON (one row per op kind / thread count),
+//   * stamp  — kmeans, ssca2, vacation through core/Runner at a fixed
+//              thread count (wall seconds per run),
+//   * synquake — the LibTm game bench (seconds per frame).
+//
+// Every metric is aggregated as median / p99 / min / max over repeats and
+// written to BENCH_<n>.json in --out-dir, where <n> continues the highest
+// snapshot already present — the committed BENCH_*.json sequence at the
+// repo root is the project's perf trajectory, gated by tools/bench_regress.
+//
+//   bench_runner --smoke                  # CI preset: small repeats/inputs
+//   bench_runner --out-dir=. --repeats=5  # full snapshot at the repo root
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runner.h"
+#include "stamp/Registry.h"
+#include "stamp/SizeClass.h"
+#include "support/Json.h"
+#include "support/Options.h"
+#include "synquake/Game.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace gstm;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Aggregate of one metric's repeat samples.
+struct Aggregate {
+  double Median = 0, P99 = 0, Min = 0, Max = 0;
+  size_t Repeats = 0;
+};
+
+Aggregate aggregate(std::vector<double> Samples) {
+  Aggregate A;
+  if (Samples.empty())
+    return A;
+  std::sort(Samples.begin(), Samples.end());
+  const size_t N = Samples.size();
+  A.Repeats = N;
+  A.Min = Samples.front();
+  A.Max = Samples.back();
+  A.Median = N % 2 ? Samples[N / 2]
+                   : (Samples[N / 2 - 1] + Samples[N / 2]) / 2.0;
+  // Nearest-rank p99 (== max until ~100 samples).
+  size_t Rank = static_cast<size_t>(0.99 * static_cast<double>(N) + 0.5);
+  A.P99 = Samples[std::min(Rank, N - 1)];
+  return A;
+}
+
+/// One snapshot row.
+struct Entry {
+  std::string Suite;
+  std::string Name;
+  unsigned Threads = 1;
+  std::string Unit;
+  Aggregate Agg;
+};
+
+/// Highest <n> among existing Dir/BENCH_<n>.json, or 0.
+unsigned highestSnapshot(const fs::path &Dir) {
+  unsigned Best = 0;
+  std::error_code Ec;
+  for (const auto &DirEntry : fs::directory_iterator(Dir, Ec)) {
+    const std::string File = DirEntry.path().filename().string();
+    unsigned N = 0;
+    if (std::sscanf(File.c_str(), "BENCH_%u.json", &N) == 1)
+      Best = std::max(Best, N);
+  }
+  return Best;
+}
+
+/// Thread count embedded in a google-benchmark name ("/threads:8"), 1 if
+/// absent.
+unsigned threadsFromBenchName(const std::string &Name) {
+  size_t Pos = Name.find("/threads:");
+  if (Pos == std::string::npos)
+    return 1;
+  return static_cast<unsigned>(
+      std::strtoul(Name.c_str() + Pos + 9, nullptr, 10));
+}
+
+/// "BM_Tl2WriteTxn/threads:8/real_time" -> "tl2_write_txn_t8"-style flat
+/// key: stable across benchmark-library formatting details.
+std::string flatBenchName(const std::string &Name) {
+  std::string Base = Name.substr(0, Name.find('/'));
+  if (Base.rfind("BM_", 0) == 0)
+    Base = Base.substr(3);
+  std::string Flat;
+  for (size_t I = 0; I < Base.size(); ++I) {
+    char C = Base[I];
+    if (C >= 'A' && C <= 'Z') {
+      if (I && !Flat.empty() && Flat.back() != '_')
+        Flat.push_back('_');
+      Flat.push_back(static_cast<char>(C - 'A' + 'a'));
+    } else {
+      Flat.push_back(C);
+    }
+  }
+  // Sub-benchmark arg ("/64") distinguishes sized variants.
+  size_t Slash = Name.find('/');
+  while (Slash != std::string::npos) {
+    size_t End = Name.find('/', Slash + 1);
+    std::string Part = Name.substr(
+        Slash + 1, End == std::string::npos ? std::string::npos
+                                            : End - Slash - 1);
+    if (!Part.empty() && Part.find(':') == std::string::npos &&
+        Part != "real_time")
+      Flat += "_" + Part;
+    Slash = End;
+  }
+  return Flat;
+}
+
+/// Runs micro_stm_ops with --json-dir and folds its repetition rows into
+/// Entries. Returns false (with a message) when the binary is missing or
+/// its output cannot be parsed.
+bool runMicroSuite(const std::string &MicroBin, const fs::path &TmpDir,
+                   unsigned Repetitions, double MinTime,
+                   std::vector<Entry> &Entries, std::string &Error) {
+  std::error_code Ec;
+  fs::create_directories(TmpDir, Ec);
+  std::ostringstream Cmd;
+  Cmd << MicroBin
+      << " '--benchmark_filter=(Tl2ReadOnlyTxn|Tl2WriteTxn|"
+         "Tl2TxnBySize/64|LibTmObjectTxn|Tl2Disjoint.*/threads:(1|8)$|"
+         "Tl2RwAccessObserver)'"
+      << " --benchmark_repetitions=" << Repetitions
+      << " --benchmark_min_time=" << MinTime << " --json-dir="
+      << TmpDir.string() << " > " << (TmpDir / "micro_stm_ops.log").string()
+      << " 2>&1";
+  if (std::system(Cmd.str().c_str()) != 0) {
+    Error = "micro_stm_ops failed (see " +
+            (TmpDir / "micro_stm_ops.log").string() + ")";
+    return false;
+  }
+  std::ifstream In(TmpDir / "micro_stm_ops.json");
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::optional<JsonValue> Doc = parseJson(Buf.str());
+  if (!Doc || !Doc->isObject()) {
+    Error = "cannot parse micro_stm_ops.json";
+    return false;
+  }
+  const JsonValue *Rows = Doc->find("benchmarks");
+  if (!Rows || !Rows->isArray()) {
+    Error = "micro_stm_ops.json has no benchmarks array";
+    return false;
+  }
+  // Group repetition rows (run_type "iteration") by benchmark name.
+  std::vector<std::pair<std::string, std::vector<double>>> Groups;
+  for (const JsonValue &Row : Rows->Items) {
+    const JsonValue *RunType = Row.find("run_type");
+    if (RunType && RunType->Str == "aggregate")
+      continue;
+    const JsonValue *Name = Row.find("name");
+    const JsonValue *RealTime = Row.find("real_time");
+    if (!Name || !RealTime)
+      continue;
+    auto It = std::find_if(Groups.begin(), Groups.end(), [&](auto &G) {
+      return G.first == Name->Str;
+    });
+    if (It == Groups.end()) {
+      Groups.push_back({Name->Str, {}});
+      It = Groups.end() - 1;
+    }
+    It->second.push_back(RealTime->asDouble());
+  }
+  for (auto &[Name, Samples] : Groups) {
+    Entry E;
+    E.Suite = "micro";
+    E.Name = flatBenchName(Name);
+    E.Threads = threadsFromBenchName(Name);
+    if (E.Threads > 1)
+      E.Name += "_t" + std::to_string(E.Threads);
+    E.Unit = "ns/op";
+    E.Agg = aggregate(std::move(Samples));
+    Entries.push_back(std::move(E));
+  }
+  return true;
+}
+
+void runStampSuite(unsigned Threads, unsigned Repeats, uint64_t Seed,
+                   std::vector<Entry> &Entries) {
+  for (const char *Name : {"kmeans", "ssca2", "vacation"}) {
+    std::vector<double> Wall;
+    for (unsigned R = 0; R < Repeats; ++R) {
+      std::unique_ptr<TlWorkload> W =
+          createStampWorkload(Name, SizeClass::Small);
+      if (!W) {
+        std::fprintf(stderr, "bench_runner: unknown STAMP workload %s\n",
+                     Name);
+        std::exit(2);
+      }
+      RunnerConfig RC;
+      RC.Threads = Threads;
+      RC.CollectTrace = false;
+      RC.Stm = Tl2Config(); // bare STM timing: no perturbation/latency
+      RunResult Res = runWorkloadOnce(*W, RC, Seed, nullptr);
+      if (!Res.Verified) {
+        std::fprintf(stderr,
+                     "bench_runner: %s failed verification — refusing to "
+                     "record a perf number for a broken run\n",
+                     Name);
+        std::exit(2);
+      }
+      Wall.push_back(Res.WallSeconds);
+    }
+    Entry E;
+    E.Suite = "stamp";
+    E.Name = Name;
+    E.Threads = Threads;
+    E.Unit = "s";
+    E.Agg = aggregate(std::move(Wall));
+    Entries.push_back(std::move(E));
+  }
+}
+
+void runSynQuakeSuite(unsigned Threads, unsigned Repeats, uint64_t Seed,
+                      bool Smoke, std::vector<Entry> &Entries) {
+  SynQuakeParams P;
+  P.NumPlayers = Smoke ? 96 : 256;
+  P.Frames = Smoke ? 8 : 24;
+  P.PhysicsIterations = Smoke ? 200 : 1000;
+  std::vector<double> FrameSeconds;
+  for (unsigned R = 0; R < Repeats; ++R) {
+    LibTm Tm;
+    SynQuakeGame Game(P);
+    Game.setup(Tm, Threads, Seed);
+    std::vector<double> Frames = Game.run(Tm, Threads);
+    if (!Game.verify()) {
+      std::fprintf(stderr, "bench_runner: synquake failed verification — "
+                           "refusing to record a perf number\n");
+      std::exit(2);
+    }
+    FrameSeconds.insert(FrameSeconds.end(), Frames.begin(), Frames.end());
+  }
+  Entry E;
+  E.Suite = "synquake";
+  E.Name = "quadrants4";
+  E.Threads = Threads;
+  E.Unit = "s/frame";
+  E.Agg = aggregate(std::move(FrameSeconds));
+  Entries.push_back(std::move(E));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  OptionSet Cli(
+      "bench_runner",
+      "runs the benchmark battery and writes one BENCH_<n>.json snapshot",
+      {
+          {"smoke", "", "CI preset: small repeats and inputs"},
+          {"out-dir", "DIR",
+           "where snapshots live and the new one is written (default .)"},
+          {"micro-bin", "PATH",
+           "micro_stm_ops binary (default <exe>/../../bench/micro_stm_ops)"},
+          {"suite", "S", "all, micro, stamp or synquake (default all)"},
+          {"threads", "T", "fixed thread count for stamp/synquake/micro "
+                           "contended ops (default 8)"},
+          {"repeats", "N", "repeats per metric (default 5; 2 with --smoke)"},
+          {"seed", "S", "workload input seed (default 1)"},
+      });
+  Options Opts = Cli.parseOrExit(Argc, Argv);
+
+  const bool Smoke = Opts.getBool("smoke", false);
+  const std::string Suite = Opts.getString("suite", "all");
+  const unsigned Threads =
+      static_cast<unsigned>(Opts.getInt("threads", 8));
+  const unsigned Repeats = static_cast<unsigned>(
+      Opts.getInt("repeats", Smoke ? 2 : 5));
+  const uint64_t Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
+  const fs::path OutDir = Opts.getString("out-dir", ".");
+
+  std::string MicroBin = Opts.getString("micro-bin", "");
+  if (MicroBin.empty()) {
+    fs::path Exe = fs::path(Argv[0]);
+    MicroBin = (Exe.parent_path().parent_path() / "bench" /
+                "micro_stm_ops")
+                   .string();
+  }
+
+  std::vector<Entry> Entries;
+  const bool All = Suite == "all";
+  if (All || Suite == "micro") {
+    std::string Error;
+    if (!runMicroSuite(MicroBin, OutDir / ".bench_tmp",
+                       /*Repetitions=*/Repeats,
+                       /*MinTime=*/Smoke ? 0.02 : 0.1, Entries, Error)) {
+      std::fprintf(stderr, "bench_runner: %s\n", Error.c_str());
+      return 2;
+    }
+  }
+  if (All || Suite == "stamp")
+    runStampSuite(Threads, Repeats, Seed, Entries);
+  if (All || Suite == "synquake")
+    runSynQuakeSuite(Threads, Repeats, Seed, Smoke, Entries);
+
+  if (Entries.empty()) {
+    std::fprintf(stderr, "bench_runner: unknown --suite=%s\n",
+                 Suite.c_str());
+    return 2;
+  }
+
+  const unsigned Snapshot = highestSnapshot(OutDir) + 1;
+  JsonWriter W;
+  W.beginObject();
+  W.key("schema").value("gstm.bench.v1");
+  W.key("snapshot").value(uint64_t{Snapshot});
+  W.key("mode").value(Smoke ? "smoke" : "full");
+  W.key("threads").value(uint64_t{Threads});
+  W.key("repeats").value(uint64_t{Repeats});
+  W.key("entries").beginArray();
+  for (const Entry &E : Entries) {
+    W.beginObject();
+    W.key("suite").value(E.Suite);
+    W.key("name").value(E.Name);
+    W.key("threads").value(uint64_t{E.Threads});
+    W.key("unit").value(E.Unit);
+    W.key("repeats").value(static_cast<uint64_t>(E.Agg.Repeats));
+    W.key("median").value(E.Agg.Median);
+    W.key("p99").value(E.Agg.P99);
+    W.key("min").value(E.Agg.Min);
+    W.key("max").value(E.Agg.Max);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  const fs::path OutFile =
+      OutDir / ("BENCH_" + std::to_string(Snapshot) + ".json");
+  std::ofstream Out(OutFile);
+  if (!Out) {
+    std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                 OutFile.string().c_str());
+    return 2;
+  }
+  Out << W.str() << "\n";
+  Out.close();
+
+  std::printf("%-10s %-38s %8s %12s %12s\n", "suite", "name", "threads",
+              "median", "p99");
+  for (const Entry &E : Entries)
+    std::printf("%-10s %-38s %8u %12.4g %12.4g  %s\n", E.Suite.c_str(),
+                E.Name.c_str(), E.Threads, E.Agg.Median, E.Agg.P99,
+                E.Unit.c_str());
+  std::printf("bench_runner: wrote %s (%zu entries)\n",
+              OutFile.string().c_str(), Entries.size());
+  return 0;
+}

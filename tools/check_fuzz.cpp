@@ -47,7 +47,11 @@ int main(int Argc, char **Argv) {
           {"ops", "N", "max operations per transaction"},
           {"preempt-shift", "N", "preemption-point density (power of two)"},
           {"perturb-shift", "N", "schedule-perturbation density"},
-          {"smoke", "", "CI preset: 1024 seeds per backend"},
+          {"smoke", "", "CI preset: 1024 seeds per backend, both commit "
+                        "orderings"},
+          {"commit-order", "O",
+           "single-fence, standard or both (default single-fence; both "
+           "with --smoke)"},
           {"verbose", "", "print every iteration, not just failures"},
           {"inject-skip-validation", "",
            "fault injection: skip read validation (checkers must object)"},
@@ -90,6 +94,26 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Which commit orderings to sweep. The single-fence writeback path is
+  // the runtime default; --smoke covers the standard ordering too so the
+  // legacy path keeps its correctness coverage.
+  const std::string OrderName =
+      Opts.getString("commit-order", Smoke ? "both" : "single-fence");
+  std::vector<bool> Orders;
+  if (OrderName == "single-fence")
+    Orders = {true};
+  else if (OrderName == "standard")
+    Orders = {false};
+  else if (OrderName == "both")
+    Orders = {true, false};
+  else {
+    std::fprintf(stderr,
+                 "check_fuzz: unknown --commit-order=%s (want "
+                 "single-fence, standard or both)\n",
+                 OrderName.c_str());
+    return 2;
+  }
+
   uint64_t First = SeedBase, Count = Iters;
   if (Opts.has("seed")) {
     First = static_cast<uint64_t>(Opts.getInt("seed", 1));
@@ -97,6 +121,8 @@ int main(int Argc, char **Argv) {
   }
 
   uint64_t Failures = 0, Attempts = 0, Commits = 0, Yields = 0;
+  for (bool SingleFence : Orders) {
+  Cfg.SingleFenceCommit = SingleFence;
   for (uint64_t I = 0; I < Count; ++I) {
     const uint64_t Seed = First + I;
     if (All) {
@@ -114,9 +140,11 @@ int main(int Argc, char **Argv) {
       }
       if (!D.passed()) {
         ++Failures;
-        std::printf("FAIL seed %llu: %s\n  repro: check_fuzz --seed=%llu\n",
+        std::printf("FAIL seed %llu: %s\n"
+                    "  repro: check_fuzz --seed=%llu --commit-order=%s\n",
                     static_cast<unsigned long long>(Seed), D.Error.c_str(),
-                    static_cast<unsigned long long>(Seed));
+                    static_cast<unsigned long long>(Seed),
+                    SingleFence ? "single-fence" : "standard");
       }
     } else {
       FuzzRunResult R = runFuzzIteration(Seed, Only, Cfg);
@@ -127,10 +155,12 @@ int main(int Argc, char **Argv) {
         ++Failures;
         std::printf(
             "FAIL seed %llu (%s): %s\n"
-            "  repro: check_fuzz --seed=%llu --backend=%s\n",
+            "  repro: check_fuzz --seed=%llu --backend=%s "
+            "--commit-order=%s\n",
             static_cast<unsigned long long>(Seed), fuzzBackendName(Only),
             R.Error.c_str(), static_cast<unsigned long long>(Seed),
-            fuzzBackendName(Only));
+            fuzzBackendName(Only),
+            SingleFence ? "single-fence" : "standard");
       } else if (Verbose) {
         std::printf("seed %llu %s ok (%zu attempts, %zu commits)\n",
                     static_cast<unsigned long long>(Seed),
@@ -138,10 +168,13 @@ int main(int Argc, char **Argv) {
       }
     }
   }
+  }
 
-  std::printf("check_fuzz: %llu seed(s), backend %s: %llu failure(s); "
+  std::printf("check_fuzz: %llu seed(s) x %zu ordering(s), backend %s: "
+              "%llu failure(s); "
               "%llu attempts / %llu commits, %llu injected yields\n",
-              static_cast<unsigned long long>(Count), BackendName.c_str(),
+              static_cast<unsigned long long>(Count), Orders.size(),
+              BackendName.c_str(),
               static_cast<unsigned long long>(Failures),
               static_cast<unsigned long long>(Attempts),
               static_cast<unsigned long long>(Commits),
