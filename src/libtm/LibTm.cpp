@@ -118,6 +118,14 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
     // Single-fence commit (see LibTmConfig::SingleFenceCommit): validate
     // unconditionally, write back, then advance the clock and publish
     // all metadata with relaxed stores behind one release fence.
+    //
+    // The seq_cst fence stands in for the standard path's clock
+    // fetch_add between lock acquisition and validation: it globally
+    // orders our meta-word lock CAS before any other committer's
+    // validation loads. Without it, store-buffering lets two cyclically
+    // conflicting writers each miss the other's lock and both commit
+    // (see the matching fence in Tl2Txn::commitOrThrow).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     validateReadSet(Self);
 
     for (size_t W = 0, E = WriteObjs.size(); W != E; ++W) {

@@ -214,6 +214,17 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
     // update. The branch-free fast pass keeps the unconditional check
     // cheap. (Fault.SkipReadValidation is the self-test mutant that
     // omits revalidation entirely; see Tl2FaultInjection.)
+    //
+    // The fence below is the one ordering the single-fence path cannot
+    // drop: the standard path's seq_cst clock fetch_add sits between
+    // lock acquisition and validation, so each committer's lock CAS is
+    // globally ordered before the other's validation loads. With the
+    // clock advance moved after writeback, acq_rel CAS + acquire loads
+    // alone permit store-buffering — two cyclically conflicting
+    // committers each miss the other's freshly taken lock, both
+    // validate clean, and both commit a lost update (real on POWER;
+    // invisible on x86/ARMv8, so check_fuzz cannot catch it).
+    std::atomic_thread_fence(std::memory_order_seq_cst);
     if (!Cfg.Fault.SkipReadValidation)
       validateReadSet(Self);
 

@@ -35,12 +35,16 @@
 #include <cstdint>
 #include <cstring>
 #include <new>
+#include <type_traits>
 
 namespace gstm {
 
 template <typename V, unsigned InlineBits = 5> class PtrIndexMap {
   static_assert(InlineBits >= 1 && InlineBits <= 16,
                 "unreasonable inline table size");
+  // clear() memsets the slot array on generation wrap.
+  static_assert(std::is_trivially_copyable_v<V>,
+                "PtrIndexMap payloads must be trivially copyable");
 
 public:
   PtrIndexMap() { resetTable(InlineSlots, InlineBits); }

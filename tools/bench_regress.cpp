@@ -109,8 +109,12 @@ int main(int Argc, char **Argv) {
   std::error_code Ec;
   for (const auto &DirEntry : fs::directory_iterator(Dir, Ec)) {
     unsigned N = 0;
+    int Consumed = 0;
     const std::string File = DirEntry.path().filename().string();
-    if (std::sscanf(File.c_str(), "BENCH_%u.json", &N) == 1 && N > 0)
+    // %n anchors the match: "BENCH_2.json.bak" parses but leaves a tail,
+    // so only exact BENCH_<n>.json names count as snapshots.
+    if (std::sscanf(File.c_str(), "BENCH_%u.json%n", &N, &Consumed) == 1 &&
+        N > 0 && static_cast<size_t>(Consumed) == File.size())
       Snaps.push_back(Snapshot{N, DirEntry.path(), {}});
   }
   if (Snaps.size() < 2) {
