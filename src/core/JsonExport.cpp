@@ -37,6 +37,8 @@ void writeSnapshotFields(JsonWriter &W, const StatsSnapshot &S) {
 
   W.key("attempts").value(S.Attempts);
   W.key("attempt_nanos").value(S.AttemptNanos);
+  W.key("commit_ring_lookups").value(S.CommitRingLookups);
+  W.key("commit_ring_misses").value(S.CommitRingMisses);
 }
 
 void writeGuideStats(JsonWriter &W, const GuideStats &G) {
@@ -211,5 +213,9 @@ std::optional<StatsSnapshot> gstm::snapshotFromJson(const JsonValue &V) {
     S.Attempts = A->asU64();
   if (const JsonValue *N = V.find("attempt_nanos"))
     S.AttemptNanos = N->asU64();
+  if (const JsonValue *N = V.find("commit_ring_lookups"))
+    S.CommitRingLookups = N->asU64();
+  if (const JsonValue *N = V.find("commit_ring_misses"))
+    S.CommitRingMisses = N->asU64();
   return S;
 }

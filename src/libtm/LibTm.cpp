@@ -235,7 +235,9 @@ void LibTxn::abortOnOwner(TxThreadPair Owner, AbortSite Site) {
 
 void LibTxn::abortOnVersion(uint64_t Version, AbortSite Site) {
   TxThreadPair Committer;
-  if (S.commitRing().lookup(Version, Committer))
+  bool Hit = S.commitRing().lookup(Version, Committer);
+  Shard->recordCommitRingLookup(Hit);
+  if (Hit)
     reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                    AbortCauseKind::KnownCommitter,
                                    Committer, Version, Site});

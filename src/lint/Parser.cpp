@@ -13,8 +13,12 @@ using namespace gstm;
 using namespace gstm::lint;
 
 bool gstm::lint::isTxnHandleType(std::string_view TypeName) {
+  // "Txn" is the backend-traits alias (src/tmds/TmBackend.h): templated
+  // structures take `typename B::Txn &`, which lexes as a plain `Txn`
+  // parameter. Treating it as a handle classifies those bodies as
+  // transactional contexts, same as their concrete instantiations.
   return TypeName == "Tl2Txn" || TypeName == "LibTxn" ||
-         TypeName == "LibTmTxn";
+         TypeName == "LibTmTxn" || TypeName == "Txn";
 }
 
 namespace {

@@ -47,6 +47,8 @@ void StatsSnapshot::merge(const StatsSnapshot &Other) {
     RetryHistogram[I] += Other.RetryHistogram[I];
   Attempts += Other.Attempts;
   AttemptNanos += Other.AttemptNanos;
+  CommitRingLookups += Other.CommitRingLookups;
+  CommitRingMisses += Other.CommitRingMisses;
 }
 
 uint64_t StatsSnapshot::causeTotal() const {
@@ -83,6 +85,9 @@ StatsSnapshot ShardedStats::snapshotShard(size_t Index) const {
         S.RetryHistogram[I].load(std::memory_order_relaxed);
   Out.Attempts = S.Attempts.load(std::memory_order_relaxed);
   Out.AttemptNanos = S.AttemptNanos.load(std::memory_order_relaxed);
+  Out.CommitRingLookups =
+      S.CommitRingLookups.load(std::memory_order_relaxed);
+  Out.CommitRingMisses = S.CommitRingMisses.load(std::memory_order_relaxed);
   // Totals are derived, not stored: the shard's hot path only maintains
   // the breakdowns.
   Out.Commits = Out.retryTotal();
@@ -124,5 +129,7 @@ void ShardedStats::reset() {
       S.RetryHistogram[I].store(0, std::memory_order_relaxed);
     S.Attempts.store(0, std::memory_order_relaxed);
     S.AttemptNanos.store(0, std::memory_order_relaxed);
+    S.CommitRingLookups.store(0, std::memory_order_relaxed);
+    S.CommitRingMisses.store(0, std::memory_order_relaxed);
   }
 }

@@ -87,6 +87,14 @@ struct alignas(256) StatsShard {
   /// only when the runtime config enables TrackAttemptLatency.
   std::atomic<uint64_t> Attempts{0};
   std::atomic<uint64_t> AttemptNanos{0};
+  /// CommitRing attribution probes: every abort-time version->committer
+  /// lookup, and the subset that missed because the ring slot had been
+  /// overwritten. At OLTP commit rates a 13-bit ring wraps in
+  /// microseconds, so a high miss ratio means abort attribution has
+  /// silently degraded to UnknownCommitter — these counters make that
+  /// visible in the JSON export instead of silent.
+  std::atomic<uint64_t> CommitRingLookups{0};
+  std::atomic<uint64_t> CommitRingMisses{0};
 
   /// Single-writer increment: plain mov/add/mov instead of a locked RMW.
   static void bump(std::atomic<uint64_t> &C, uint64_t Delta = 1) {
@@ -112,6 +120,12 @@ struct alignas(256) StatsShard {
     bump(Attempts);
     bump(AttemptNanos, Nanos);
   }
+
+  void recordCommitRingLookup(bool Hit) {
+    bump(CommitRingLookups);
+    if (!Hit)
+      bump(CommitRingMisses);
+  }
 };
 
 /// Plain (non-atomic) copy of one shard or of the whole-runtime
@@ -126,12 +140,23 @@ struct StatsSnapshot {
   uint64_t RetryHistogram[RetryHistogramBuckets] = {};
   uint64_t Attempts = 0;
   uint64_t AttemptNanos = 0;
+  uint64_t CommitRingLookups = 0;
+  uint64_t CommitRingMisses = 0;
 
   void merge(const StatsSnapshot &Other);
 
   uint64_t causeTotal() const;
   uint64_t siteTotal() const;
   uint64_t retryTotal() const;
+
+  /// Fraction of abort-time ring lookups that missed (0 when no aborts
+  /// probed the ring). Near 1.0 means the ring is undersized for the
+  /// commit rate and the cause breakdown is mostly UnknownCommitter.
+  double commitRingMissRatio() const {
+    return CommitRingLookups ? static_cast<double>(CommitRingMisses) /
+                                   static_cast<double>(CommitRingLookups)
+                             : 0.0;
+  }
 
   /// Mean attempt latency in nanoseconds (0 when latency tracking was
   /// off or nothing ran).

@@ -356,7 +356,9 @@ void Tl2Txn::abortOnOwner(TxThreadPair Owner, AbortSite Site) {
 
 void Tl2Txn::abortOnVersion(uint64_t Version, AbortSite Site) {
   TxThreadPair Committer;
-  if (S.commitRing().lookup(Version, Committer))
+  bool Hit = S.commitRing().lookup(Version, Committer);
+  Shard->recordCommitRingLookup(Hit);
+  if (Hit)
     reportAbortAndThrow(AbortEvent{Thread, CurrentTx,
                                    AbortCauseKind::KnownCommitter, Committer,
                                    Version, Site});

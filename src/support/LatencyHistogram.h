@@ -1,0 +1,147 @@
+//===- support/LatencyHistogram.h - Log-bucketed latency histogram -------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A log-linear (HdrHistogram-style) latency histogram for per-operation
+/// commit latency, sized for the OLTP benchmark tier: each worker thread
+/// records into its own instance on the hot path (one bit-scan plus one
+/// array increment, no allocation, no atomics), and the harness merges the
+/// per-thread instances after the run to extract p50/p99/p999.
+///
+/// Bucketing: values below 2^SubBucketBits land in exact unit buckets;
+/// above that, each power-of-two range is split into 2^SubBucketBits
+/// linear sub-buckets, so any reported quantile is exact within a relative
+/// bucket width of 2^-SubBucketBits (3.125% at the default 5 bits). Values
+/// at or above 2^MaxValueBits collapse into one overflow bucket whose
+/// reported value saturates at the recorded maximum. Exact min and max are
+/// tracked separately, and quantile() clamps into [min, max], so the
+/// degenerate ends (p0, p100, single-sample histograms) are exact.
+///
+/// Unlike the nearest-rank-over-repeats aggregation bench_runner applies
+/// to low-sample suites, a histogram over per-operation samples gives a
+/// p99 that is a real tail estimate rather than the max: with N samples,
+/// rank ceil(0.99*N) sits strictly inside the distribution once N > 100.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SUPPORT_LATENCYHISTOGRAM_H
+#define GSTM_SUPPORT_LATENCYHISTOGRAM_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace gstm {
+
+/// Single-writer log-linear histogram of non-negative 64-bit samples
+/// (nanoseconds by convention). Copyable; merge() folds another instance
+/// in, so per-thread instances aggregate without synchronization.
+class LatencyHistogram {
+public:
+  /// Linear sub-buckets per power-of-two range (as a shift). 5 bits = 32
+  /// sub-buckets = 3.125% worst-case relative bucket width.
+  static constexpr unsigned SubBucketBits = 5;
+  /// Samples at or above 2^MaxValueBits (~18 minutes in ns) go to the
+  /// overflow bucket.
+  static constexpr unsigned MaxValueBits = 40;
+  static constexpr size_t SubBucketCount = size_t{1} << SubBucketBits;
+  /// One exact linear region + one 2^SubBucketBits-wide region per
+  /// exponent above it + the overflow bucket.
+  static constexpr size_t NumBuckets =
+      (MaxValueBits - SubBucketBits + 1) * SubBucketCount + 1;
+
+  /// Index of the bucket containing \p Value.
+  static size_t bucketIndex(uint64_t Value) {
+    if (Value < SubBucketCount)
+      return static_cast<size_t>(Value); // exact unit buckets
+    if (Value >= (uint64_t{1} << MaxValueBits))
+      return NumBuckets - 1; // overflow
+    // Exponent of the highest set bit; the SubBucketBits bits below it
+    // select the linear sub-bucket within the 2^Exp range.
+    unsigned Exp = 63u - static_cast<unsigned>(__builtin_clzll(Value));
+    uint64_t Sub = (Value >> (Exp - SubBucketBits)) & (SubBucketCount - 1);
+    return (static_cast<size_t>(Exp - SubBucketBits) + 1) * SubBucketCount +
+           static_cast<size_t>(Sub);
+  }
+
+  /// Largest value mapping to bucket \p Index (inclusive upper bound):
+  /// the value quantile() reports for ranks landing in the bucket, so a
+  /// reported quantile never understates the sample it stands for.
+  static uint64_t bucketUpperBound(size_t Index) {
+    if (Index < SubBucketCount)
+      return static_cast<uint64_t>(Index);
+    if (Index >= NumBuckets - 1)
+      return ~uint64_t{0}; // overflow: caller clamps to the recorded max
+    size_t Range = Index / SubBucketCount; // >= 1
+    size_t Sub = Index % SubBucketCount;
+    unsigned Exp = SubBucketBits + static_cast<unsigned>(Range) - 1;
+    uint64_t Base = uint64_t{1} << Exp;
+    uint64_t Width = Base >> SubBucketBits;
+    return Base + (static_cast<uint64_t>(Sub) + 1) * Width - 1;
+  }
+
+  void record(uint64_t Value) {
+    ++Counts[bucketIndex(Value)];
+    ++Total;
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+
+  /// Folds \p Other into this histogram (cross-thread aggregation; both
+  /// histograms must be quiescent).
+  void merge(const LatencyHistogram &Other) {
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += Other.Counts[I];
+    Total += Other.Total;
+    Min = std::min(Min, Other.Min);
+    Max = std::max(Max, Other.Max);
+  }
+
+  uint64_t count() const { return Total; }
+  /// Exact extremes (0 / 0 when empty).
+  uint64_t min() const { return Total ? Min : 0; }
+  uint64_t max() const { return Total ? Max : 0; }
+
+  /// Nearest-rank quantile \p Q in [0, 1]: the upper bound of the bucket
+  /// holding the ceil(Q*N)-th smallest sample, clamped into [min, max].
+  /// 0 when the histogram is empty.
+  uint64_t quantile(double Q) const {
+    if (Total == 0)
+      return 0;
+    Q = std::min(1.0, std::max(0.0, Q));
+    uint64_t Rank = static_cast<uint64_t>(
+        std::ceil(Q * static_cast<double>(Total)));
+    Rank = std::max<uint64_t>(Rank, 1);
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += Counts[I];
+      if (Seen >= Rank)
+        return std::min(std::max(bucketUpperBound(I), Min), Max);
+    }
+    return Max; // unreachable while Total == sum(Counts)
+  }
+
+  uint64_t p50() const { return quantile(0.50); }
+  uint64_t p99() const { return quantile(0.99); }
+  uint64_t p999() const { return quantile(0.999); }
+
+  /// Samples in the overflow bucket (values >= 2^MaxValueBits).
+  uint64_t overflowCount() const { return Counts[NumBuckets - 1]; }
+
+  void reset() { *this = LatencyHistogram(); }
+
+private:
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t Total = 0;
+  uint64_t Min = ~uint64_t{0};
+  uint64_t Max = 0;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SUPPORT_LATENCYHISTOGRAM_H

@@ -1,0 +1,133 @@
+//===- tmds/TmBackend.h - STM backend traits for the tmds containers -----===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend traits that let one transactional container source run on both
+/// STM runtimes in this repo. The seed containers in `src/stamp` are
+/// hard-wired to Tl2Txn/TVar; the tmds structures are instead templates
+/// over a backend policy providing:
+///
+///  * `Stm` / `Txn` — the runtime and per-thread descriptor types (both
+///    runtimes share the `run(TxId, Body)` / `threadId()` shape),
+///  * `Cell<T>` — the unit of transactionally shared state (TVar<T> on
+///    TL2, TObj<T> on LibTm) with transactional load/store and quiescent
+///    loadDirect/storeDirect,
+///  * `cellAddr`/`cellRaw` — the address and raw word the runtime's
+///    TxAccessObserver reports for that cell, so the check harness can
+///    register initial values that match what onTxLoad/onTxStore will
+///    carry (TL2 reports &TVar::word() and the encoded word; LibTm
+///    reports the TObjBase and payload word 0 — for word-sized payloads
+///    the two encodings agree), and
+///  * `cellLocked` — per-cell lock residue probe for post-run quiescence
+///    checks (TL2 decodes the shared stripe; LibTm decodes the object's
+///    embedded metadata word).
+///
+/// The containers only ever use cells holding trivially copyable values
+/// of at most 8 bytes, so one TObj payload word mirrors one TVar word.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_TMDS_TMBACKEND_H
+#define GSTM_TMDS_TMBACKEND_H
+
+#include "libtm/LibTm.h"
+#include "stm/LockTable.h"
+#include "stm/TVar.h"
+#include "stm/Tl2.h"
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace gstm {
+
+/// Word-based TL2 backend: cells are TVar<T>, metadata lives in the
+/// runtime's shared stripe table.
+struct Tl2Backend {
+  using Stm = Tl2Stm;
+  using Txn = Tl2Txn;
+  template <typename T> using Cell = TVar<T>;
+
+  static constexpr const char *Name = "tl2";
+
+  template <typename T> static T load(Txn &Tx, const Cell<T> &C) {
+    return Tx.load(C);
+  }
+  template <typename T>
+  static void store(Txn &Tx, Cell<T> &C, std::type_identity_t<T> Value) {
+    Tx.store(C, Value);
+  }
+  template <typename T> static T loadDirect(const Cell<T> &C) {
+    return C.loadDirect();
+  }
+  template <typename T>
+  static void storeDirect(Cell<T> &C, std::type_identity_t<T> Value) {
+    C.storeDirect(Value);
+  }
+
+  /// Address / raw value as seen by TxAccessObserver callbacks.
+  template <typename T> static const void *cellAddr(const Cell<T> &C) {
+    return &C.word();
+  }
+  template <typename T> static uint64_t cellRaw(const Cell<T> &C) {
+    return C.word().load(std::memory_order_relaxed);
+  }
+
+  /// True when the stripe guarding \p C is still locked (post-run
+  /// residue probe; quiescent use only).
+  template <typename T> static bool cellLocked(Stm &S, const Cell<T> &C) {
+    auto &Word = const_cast<Cell<T> &>(C).word();
+    return LockTable::decode(
+               S.lockTable().stripeFor(&Word).load(std::memory_order_relaxed))
+        .Locked;
+  }
+};
+
+/// Object-based LibTm backend: cells are single-payload-word TObj<T> with
+/// per-object embedded metadata.
+struct LibTmBackend {
+  using Stm = LibTm;
+  using Txn = LibTxn;
+  template <typename T> using Cell = TObj<T>;
+
+  static constexpr const char *Name = "libtm";
+
+  template <typename T> static T load(Txn &Tx, const Cell<T> &C) {
+    return Tx.read(C);
+  }
+  template <typename T>
+  static void store(Txn &Tx, Cell<T> &C, std::type_identity_t<T> Value) {
+    Tx.write(C, Value);
+  }
+  template <typename T> static T loadDirect(const Cell<T> &C) {
+    return C.loadDirect();
+  }
+  template <typename T>
+  static void storeDirect(Cell<T> &C, std::type_identity_t<T> Value) {
+    C.storeDirect(Value);
+  }
+
+  template <typename T> static const void *cellAddr(const Cell<T> &C) {
+    return static_cast<const TObjBase *>(&C);
+  }
+  template <typename T> static uint64_t cellRaw(const Cell<T> &C) {
+    // Payload word 0 — what LibTm's access observer reports; identical
+    // to the TVar encoding for word-sized trivially copyable T.
+    return const_cast<Cell<T> &>(C).words()[0].load(
+        std::memory_order_relaxed);
+  }
+
+  template <typename T> static bool cellLocked(Stm &, const Cell<T> &C) {
+    return LockTable::decode(const_cast<Cell<T> &>(C).meta().load(
+                                 std::memory_order_relaxed))
+        .Locked;
+  }
+};
+
+} // namespace gstm
+
+#endif // GSTM_TMDS_TMBACKEND_H

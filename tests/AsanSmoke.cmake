@@ -26,6 +26,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
           --target tl2_test check_fuzz model_lifecycle_test minivector_test
+                   latency_histogram_test tmds_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "asan sub-build compile failed (${BuildRc})")
@@ -60,6 +61,35 @@ execute_process(
   RESULT_VARIABLE MiniRc)
 if(NOT MiniRc EQUAL 0)
   message(FATAL_ERROR "minivector_test failed under asan (${MiniRc})")
+endif()
+
+# The transactional data structures allocate nodes from TmPool arenas
+# and publish them via STM stores; aborted inserts leak their nodes by
+# design. The structure tests plus a short differential fuzz run cover
+# the node lifecycle (and the histogram's bucket math) under ASan/UBSan.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/latency_histogram_test
+  RESULT_VARIABLE HistRc)
+if(NOT HistRc EQUAL 0)
+  message(FATAL_ERROR "latency_histogram_test failed under asan (${HistRc})")
+endif()
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/tmds_test
+  RESULT_VARIABLE TmdsRc)
+if(NOT TmdsRc EQUAL 0)
+  message(FATAL_ERROR "tmds_test failed under asan (${TmdsRc})")
+endif()
+execute_process(
+  COMMAND ${BUILD_DIR}/tools/check_fuzz --workload=skiplist --iters=32
+  RESULT_VARIABLE SkipFuzzRc)
+if(NOT SkipFuzzRc EQUAL 0)
+  message(FATAL_ERROR "skiplist fuzz failed under asan (${SkipFuzzRc})")
+endif()
+execute_process(
+  COMMAND ${BUILD_DIR}/tools/check_fuzz --workload=btree --iters=32
+  RESULT_VARIABLE BtreeFuzzRc)
+if(NOT BtreeFuzzRc EQUAL 0)
+  message(FATAL_ERROR "btree fuzz failed under asan (${BtreeFuzzRc})")
 endif()
 
 # Model-loader robustness: the serialization round-trip and corruption

@@ -24,7 +24,8 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
-          --target stats_test tl2_test minivector_test
+          --target stats_test tl2_test minivector_test latency_histogram_test
+                   tmds_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "tsan sub-build compile failed (${BuildRc})")
@@ -52,6 +53,25 @@ execute_process(
   RESULT_VARIABLE Tl2Rc)
 if(NOT Tl2Rc EQUAL 0)
   message(FATAL_ERROR "tl2_test failed under tsan (${Tl2Rc})")
+endif()
+
+# The transactional skiplist/B-tree publish pool-allocated nodes through
+# STM stores while peers traverse them; the partitioned-mutation test
+# races real inserts/removes across threads. The histogram's merge path
+# (per-thread recording, post-join merge) rides along — both are exactly
+# where an unsynchronized publish would hide.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/tmds_test
+          --gtest_filter=TmdsTest.ConcurrentPartitionedMutationIsExact
+  RESULT_VARIABLE TmdsRc)
+if(NOT TmdsRc EQUAL 0)
+  message(FATAL_ERROR "tmds_test failed under tsan (${TmdsRc})")
+endif()
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/latency_histogram_test
+  RESULT_VARIABLE HistRc)
+if(NOT HistRc EQUAL 0)
+  message(FATAL_ERROR "latency_histogram_test failed under tsan (${HistRc})")
 endif()
 
 # Containers are single-owner by design; running their suite under TSan

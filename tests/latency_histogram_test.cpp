@@ -1,0 +1,170 @@
+//===- tests/latency_histogram_test.cpp - LatencyHistogram unit tests ----===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LatencyHistogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+using gstm::LatencyHistogram;
+
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeroEverywhere) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.quantile(0.0), 0u);
+  EXPECT_EQ(H.p50(), 0u);
+  EXPECT_EQ(H.p99(), 0u);
+  EXPECT_EQ(H.p999(), 0u);
+}
+
+TEST(LatencyHistogram, OneSampleIsExactAtEveryQuantile) {
+  LatencyHistogram H;
+  H.record(123456789);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.min(), 123456789u);
+  EXPECT_EQ(H.max(), 123456789u);
+  // With a single sample every quantile clamps into [min, max].
+  EXPECT_EQ(H.quantile(0.0), 123456789u);
+  EXPECT_EQ(H.p50(), 123456789u);
+  EXPECT_EQ(H.p99(), 123456789u);
+  EXPECT_EQ(H.quantile(1.0), 123456789u);
+}
+
+TEST(LatencyHistogram, BucketIndexRoundTripsUpperBound) {
+  // Every bucket's inclusive upper bound must map back to that bucket,
+  // and the next value must map to the following bucket — together this
+  // pins the bucket boundaries exactly.
+  for (size_t I = 0; I + 1 < LatencyHistogram::NumBuckets; ++I) {
+    uint64_t Hi = LatencyHistogram::bucketUpperBound(I);
+    EXPECT_EQ(LatencyHistogram::bucketIndex(Hi), I) << "bucket " << I;
+    EXPECT_EQ(LatencyHistogram::bucketIndex(Hi + 1), I + 1)
+        << "bucket " << I;
+  }
+}
+
+TEST(LatencyHistogram, ExactUnitRegionHasZeroError) {
+  // Values below 2^SubBucketBits sit in unit buckets: quantiles over a
+  // distribution confined to that region are exact, not bucket-rounded.
+  LatencyHistogram H;
+  for (uint64_t V = 0; V < LatencyHistogram::SubBucketCount; ++V)
+    for (int R = 0; R < 4; ++R)
+      H.record(V);
+  EXPECT_EQ(H.p50(), LatencyHistogram::SubBucketCount / 2 - 1);
+  EXPECT_EQ(H.quantile(1.0), LatencyHistogram::SubBucketCount - 1);
+}
+
+TEST(LatencyHistogram, QuantileWithinBucketBoundsOfExactRank) {
+  // Compare against exact nearest-rank quantiles over the raw samples:
+  // the histogram answer must never be below the exact answer and never
+  // above it by more than one sub-bucket width (2^-SubBucketBits
+  // relative at the default 5 bits).
+  std::mt19937_64 Rng(42);
+  std::lognormal_distribution<double> Dist(10.0, 2.0); // ns-ish spread
+  std::vector<uint64_t> Samples;
+  LatencyHistogram H;
+  for (int I = 0; I < 100000; ++I) {
+    uint64_t V = static_cast<uint64_t>(Dist(Rng));
+    Samples.push_back(V);
+    H.record(V);
+  }
+  std::sort(Samples.begin(), Samples.end());
+  for (double Q : {0.5, 0.9, 0.99, 0.999}) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(Q * static_cast<double>(Samples.size())));
+    uint64_t Exact = Samples[Rank - 1];
+    uint64_t Got = H.quantile(Q);
+    EXPECT_GE(Got, Exact) << "q=" << Q;
+    double RelErr = Exact ? (static_cast<double>(Got) - Exact) / Exact : 0;
+    EXPECT_LE(RelErr, 1.0 / (1 << LatencyHistogram::SubBucketBits))
+        << "q=" << Q;
+  }
+  EXPECT_EQ(H.min(), Samples.front());
+  EXPECT_EQ(H.max(), Samples.back());
+}
+
+TEST(LatencyHistogram, P99IsNotTheMaxOnHeavyTailedData) {
+  // The whole point of the histogram tier: with enough per-operation
+  // samples, p99 sits strictly inside the distribution instead of
+  // degenerating to the max the way 5-repeat nearest-rank does.
+  LatencyHistogram H;
+  for (int I = 0; I < 9900; ++I)
+    H.record(1000);
+  for (int I = 0; I < 99; ++I)
+    H.record(50000);
+  H.record(10000000); // one extreme outlier
+  EXPECT_LT(H.p99(), H.max());
+  EXPECT_GE(H.p99(), 1000u);
+}
+
+TEST(LatencyHistogram, OverflowBucketSaturatesAtRecordedMax) {
+  LatencyHistogram H;
+  uint64_t Huge = (uint64_t{1} << LatencyHistogram::MaxValueBits) + 12345;
+  H.record(Huge);
+  H.record(Huge + 7);
+  EXPECT_EQ(H.overflowCount(), 2u);
+  EXPECT_EQ(H.max(), Huge + 7);
+  // The overflow bucket's nominal bound is UINT64_MAX; reported
+  // quantiles clamp to the recorded max instead.
+  EXPECT_EQ(H.quantile(1.0), Huge + 7);
+  EXPECT_EQ(H.p50(), Huge + 7);
+}
+
+TEST(LatencyHistogram, MergeEqualsSingleWriterUnion) {
+  // Cross-thread aggregation: T per-thread histograms merged must be
+  // indistinguishable from one histogram fed all samples.
+  constexpr int Threads = 4, PerThread = 20000;
+  std::vector<LatencyHistogram> Shards(Threads);
+  LatencyHistogram Reference;
+  std::vector<std::vector<uint64_t>> Values(Threads);
+  for (int T = 0; T < Threads; ++T) {
+    std::mt19937_64 Rng(1000 + T);
+    for (int I = 0; I < PerThread; ++I)
+      Values[T].push_back(Rng() % 2000000);
+  }
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      for (uint64_t V : Values[T])
+        Shards[T].record(V);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  for (int T = 0; T < Threads; ++T)
+    for (uint64_t V : Values[T])
+      Reference.record(V);
+
+  LatencyHistogram Merged;
+  for (const LatencyHistogram &S : Shards)
+    Merged.merge(S);
+  EXPECT_EQ(Merged.count(), Reference.count());
+  EXPECT_EQ(Merged.min(), Reference.min());
+  EXPECT_EQ(Merged.max(), Reference.max());
+  for (double Q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0})
+    EXPECT_EQ(Merged.quantile(Q), Reference.quantile(Q)) << "q=" << Q;
+}
+
+TEST(LatencyHistogram, ResetReturnsToEmpty) {
+  LatencyHistogram H;
+  H.record(5);
+  H.record(1u << 20);
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.p99(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+}
+
+} // namespace

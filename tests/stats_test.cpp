@@ -43,6 +43,8 @@ TEST(StatsShardTest, RecordersFeedTheRightCounters) {
   Shard.recordAbort(AbortCauseKind::UnknownCommitter,
                     AbortSite::CommitValidate);
   Shard.recordAttempt(1500);
+  Shard.recordCommitRingLookup(/*Hit=*/true);
+  Shard.recordCommitRingLookup(/*Hit=*/false);
 
   StatsSnapshot Snap = S.snapshotShard(3);
   EXPECT_EQ(Snap.Commits, 2u);
@@ -56,6 +58,9 @@ TEST(StatsShardTest, RecordersFeedTheRightCounters) {
   EXPECT_EQ(Snap.RetryHistogram[2], 1u);
   EXPECT_EQ(Snap.Attempts, 1u);
   EXPECT_EQ(Snap.AttemptNanos, 1500u);
+  EXPECT_EQ(Snap.CommitRingLookups, 2u);
+  EXPECT_EQ(Snap.CommitRingMisses, 1u);
+  EXPECT_DOUBLE_EQ(Snap.commitRingMissRatio(), 0.5);
   EXPECT_TRUE(Snap.consistent());
 
   // Other shards are untouched.
@@ -80,6 +85,8 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   A.RetryHistogram[0] = 3;
   A.Attempts = 4;
   A.AttemptNanos = 400;
+  A.CommitRingLookups = 2;
+  A.CommitRingMisses = 1;
   B.Commits = 2;
   B.ReadOnlyCommits = 2;
   B.Aborts = 2;
@@ -88,6 +95,8 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   B.RetryHistogram[1] = 2;
   B.Attempts = 4;
   B.AttemptNanos = 200;
+  B.CommitRingLookups = 3;
+  B.CommitRingMisses = 3;
 
   A.merge(B);
   EXPECT_EQ(A.Commits, 5u);
@@ -99,6 +108,8 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   EXPECT_EQ(A.RetryHistogram[1], 2u);
   EXPECT_EQ(A.Attempts, 8u);
   EXPECT_EQ(A.AttemptNanos, 600u);
+  EXPECT_EQ(A.CommitRingLookups, 5u);
+  EXPECT_EQ(A.CommitRingMisses, 4u);
   EXPECT_TRUE(A.consistent());
   EXPECT_DOUBLE_EQ(A.meanAttemptNanos(), 75.0);
 }
@@ -202,9 +213,59 @@ TEST(StatsAttributionTest, ReadTimeAbortTaggedReadSiteKnownCommitter) {
   // attributed, not anonymous.
   EXPECT_EQ(Victim0.AbortsByCause[size_t(AbortCauseKind::KnownCommitter)],
             1u);
+  // The attribution probe itself is accounted: one ring lookup, no miss.
+  EXPECT_EQ(Victim0.CommitRingLookups, 1u);
+  EXPECT_EQ(Victim0.CommitRingMisses, 0u);
   EXPECT_TRUE(Victim0.consistent());
   // The retried commit recorded one prior abort.
   EXPECT_EQ(Victim0.RetryHistogram[1], 1u);
+}
+
+TEST(StatsAttributionTest, RingMissCountedWhenAttributionDecays) {
+  // An undersized ring silently turns KnownCommitter attribution into
+  // UnknownCommitter once the guilty version has been overwritten; the
+  // lookup/miss counters are the visible trace of that decay. 1 ring bit
+  // = 2 slots, so two further commits deterministically evict any entry.
+  Tl2Config Cfg;
+  Cfg.CommitRingBits = 1;
+  Tl2Stm Stm(Cfg);
+  TVar<uint64_t> X{0};
+  TVar<uint64_t> Noise1{0};
+  TVar<uint64_t> Noise2{0};
+  TVar<uint64_t> Y{0};
+  Tl2Txn Victim(Stm, 0);
+  Tl2Txn Enemy(Stm, 1);
+
+  bool Injected = false;
+  Victim.run(7, [&](Tl2Txn &Tx) {
+    uint64_t Seen = Tx.load(X);
+    if (!Injected) {
+      Injected = true;
+      // The first commit invalidates the victim's logged read of X with
+      // version V; the next two advance the clock to V+1 and V+2, and
+      // V+2 lands in V's ring slot (same parity), evicting it.
+      // stm-lint: allow(R5) deliberate commit injection from a second
+      // descriptor; single-threaded, so the nesting cannot deadlock.
+      Enemy.run(9, [&](Tl2Txn &E) { E.store(X, E.load(X) + 1); });
+      // stm-lint: allow(R5) same deliberate injection: clock-advance.
+      Enemy.run(9, [&](Tl2Txn &E) { E.store(Noise1, 1); });
+      // stm-lint: allow(R5) same deliberate injection: slot eviction.
+      Enemy.run(9, [&](Tl2Txn &E) { E.store(Noise2, 1); });
+    }
+    Tx.store(Y, Seen + 1);
+  });
+
+  StatsSnapshot Victim0 = Stm.stats().snapshotShard(0);
+  EXPECT_EQ(Victim0.Aborts, 1u);
+  EXPECT_EQ(Victim0.AbortsBySite[size_t(AbortSite::CommitValidate)], 1u);
+  // Version V is gone from the ring: attribution degraded to anonymous,
+  // and the counters say so.
+  EXPECT_EQ(Victim0.AbortsByCause[size_t(AbortCauseKind::UnknownCommitter)],
+            1u);
+  EXPECT_EQ(Victim0.CommitRingLookups, 1u);
+  EXPECT_EQ(Victim0.CommitRingMisses, 1u);
+  EXPECT_DOUBLE_EQ(Victim0.commitRingMissRatio(), 1.0);
+  EXPECT_TRUE(Victim0.consistent());
 }
 
 TEST(StatsAttributionTest, ValidationAbortTaggedCommitValidateSite) {
@@ -517,4 +578,25 @@ TEST(JsonTest, TelemetryExportRoundtrip) {
   ASSERT_EQ(Threads->Items.size(), 1u);
   EXPECT_EQ(Threads->Items[0].find("thread")->asU64(), 0u);
   EXPECT_EQ(Threads->Items[0].find("commits")->asU64(), 2u);
+}
+
+TEST(JsonTest, RingCountersSurviveExportParseRoundtrip) {
+  StatsSnapshot S;
+  S.Commits = 1;
+  S.RetryHistogram[0] = 1;
+  S.CommitRingLookups = 7;
+  S.CommitRingMisses = 5;
+
+  JsonWriter W;
+  writeTelemetryJson(W, S, {});
+  std::optional<JsonValue> Doc = parseJson(W.str());
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("commit_ring_lookups")->asU64(), 7u);
+  EXPECT_EQ(Doc->find("commit_ring_misses")->asU64(), 5u);
+
+  std::optional<StatsSnapshot> Back = snapshotFromJson(*Doc);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->CommitRingLookups, 7u);
+  EXPECT_EQ(Back->CommitRingMisses, 5u);
+  EXPECT_DOUBLE_EQ(Back->commitRingMissRatio(), 5.0 / 7.0);
 }

@@ -12,6 +12,13 @@
 // each snapshot's own observed spread ((p99 - median) / median), so noisy
 // metrics do not produce false alarms and quiet metrics stay tight.
 //
+// Tail fields are nullable: low-sample suites publish p99/p999 as null
+// (a nearest-rank p99 over a handful of repeats is just the max). When
+// p99 is absent on either side the median gate falls back to the fixed
+// base tolerance; when it is present on both sides (histogram-backed
+// suites: oltp, synquake), the p99 itself is gated exactly like the
+// median, so tail-latency regressions fail CI too.
+//
 // Exit status: 0 = no regression (trivially so with fewer than two
 // snapshots — the first snapshot of a trajectory has no predecessor),
 // 1 = at least one regression, 2 = usage/parse errors.
@@ -38,7 +45,10 @@ namespace {
 struct Entry {
   std::string Key; // suite/name/threads
   std::string Unit;
-  double Median = 0, P99 = 0;
+  double Median = 0;
+  /// Histogram-backed tails; absent (null in the snapshot) below the
+  /// sample floor.
+  std::optional<double> P99, P999;
 };
 
 struct Snapshot {
@@ -66,26 +76,33 @@ bool loadSnapshot(Snapshot &S) {
     const JsonValue *Threads = Row.find("threads");
     const JsonValue *Unit = Row.find("unit");
     const JsonValue *Median = Row.find("median");
-    const JsonValue *P99 = Row.find("p99");
-    if (!Suite || !Name || !Threads || !Median || !P99)
+    if (!Suite || !Name || !Threads || !Median)
       continue;
     Entry E;
     E.Key = Suite->Str + "/" + Name->Str + "/t" +
             std::to_string(Threads->asU64());
     E.Unit = Unit ? Unit->Str : "";
     E.Median = Median->asDouble();
-    E.P99 = P99->asDouble();
+    // p99/p999 may be missing entirely (old snapshots) or null (below
+    // the sample floor); both read back as "absent".
+    const JsonValue *P99 = Row.find("p99");
+    if (P99 && P99->K == JsonValue::Kind::Number)
+      E.P99 = P99->asDouble();
+    const JsonValue *P999 = Row.find("p999");
+    if (P999 && P999->K == JsonValue::Kind::Number)
+      E.P999 = P999->asDouble();
     S.Entries.push_back(std::move(E));
   }
   return true;
 }
 
 /// Relative spread of one measurement: how far its own tail sits above
-/// its median. Used to widen the tolerance for inherently noisy metrics.
+/// its median. Used to widen the tolerance for inherently noisy metrics;
+/// 0 (no widening — fixed tolerance) when the tail is absent.
 double spreadOf(const Entry &E) {
-  if (E.Median <= 0)
+  if (!E.P99 || E.Median <= 0)
     return 0;
-  return std::max(0.0, (E.P99 - E.Median) / E.Median);
+  return std::max(0.0, (*E.P99 - E.Median) / E.Median);
 }
 
 } // namespace
@@ -143,16 +160,25 @@ int main(int Argc, char **Argv) {
     if (It == Old.Entries.end() || It->Median <= 0)
       continue; // new metric (or degenerate baseline): nothing to gate
     ++Compared;
-    const double Rel = N.Median / It->Median - 1.0;
     const double Tol = std::max({BaseTol, spreadOf(*It), spreadOf(N)});
-    const char *Verdict = Rel > Tol            ? "REGRESSION"
-                          : Rel < -BaseTol / 2 ? "improved"
-                                               : "ok";
-    if (Rel > Tol)
-      ++Regressions;
-    std::printf("%-11s %-44s %12.4g -> %12.4g %s (%+.1f%%, tol %.0f%%)\n",
-                Verdict, N.Key.c_str(), It->Median, N.Median,
-                N.Unit.c_str(), Rel * 100, Tol * 100);
+    auto Gate = [&](const char *Metric, double OldV, double NewV) {
+      const double Rel = NewV / OldV - 1.0;
+      const char *Verdict = Rel > Tol            ? "REGRESSION"
+                            : Rel < -BaseTol / 2 ? "improved"
+                                                 : "ok";
+      if (Rel > Tol)
+        ++Regressions;
+      std::printf(
+          "%-11s %-44s %-6s %12.4g -> %12.4g %s (%+.1f%%, tol %.0f%%)\n",
+          Verdict, N.Key.c_str(), Metric, OldV, NewV, N.Unit.c_str(),
+          Rel * 100, Tol * 100);
+    };
+    Gate("median", It->Median, N.Median);
+    // Histogram-backed tails gate too — but only when both sides have
+    // one, so introducing tails (or dropping below the sample floor)
+    // never trips the gate by itself.
+    if (It->P99 && N.P99 && *It->P99 > 0)
+      Gate("p99", *It->P99, *N.P99);
   }
   std::printf("bench_regress: %s (#%u) vs %s (#%u): %u compared, "
               "%u regression(s)\n",

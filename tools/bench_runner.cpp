@@ -12,26 +12,37 @@
 //              google-benchmark JSON (one row per op kind / thread count),
 //   * stamp  — kmeans, ssca2, vacation through core/Runner at a fixed
 //              thread count (wall seconds per run),
-//   * synquake — the LibTm game bench (seconds per frame).
+//   * synquake — the LibTm game bench (seconds per frame, percentiles
+//              from the pooled per-frame histogram),
+//   * oltp   — YCSB-style mixes over the transactional skiplist/B-tree
+//              (bench/OltpBench.h), percentiles from per-operation
+//              commit-latency histograms.
 //
-// Every metric is aggregated as median / p99 / min / max over repeats and
-// written to BENCH_<n>.json in --out-dir, where <n> continues the highest
-// snapshot already present — the committed BENCH_*.json sequence at the
-// repo root is the project's perf trajectory, gated by tools/bench_regress.
+// Every metric is aggregated as median / min / max, and written to
+// BENCH_<n>.json in --out-dir, where <n> continues the highest snapshot
+// already present — the committed BENCH_*.json sequence at the repo root
+// is the project's perf trajectory, gated by tools/bench_regress. Tail
+// fields (p99/p999) are only emitted when at least ~100 samples back
+// them: a "p99" computed from a handful of repeats is just the max
+// wearing a costume, so low-sample suites write null instead and
+// bench_regress falls back to its fixed tolerance.
 //
 //   bench_runner --smoke                  # CI preset: small repeats/inputs
 //   bench_runner --out-dir=. --repeats=5  # full snapshot at the repo root
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/OltpBench.h"
 #include "core/Runner.h"
 #include "stamp/Registry.h"
 #include "stamp/SizeClass.h"
 #include "support/Json.h"
+#include "support/LatencyHistogram.h"
 #include "support/Options.h"
 #include "synquake/Game.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -45,10 +56,17 @@ namespace fs = std::filesystem;
 
 namespace {
 
-/// Aggregate of one metric's repeat samples.
+/// Below this many samples a nearest-rank p99 is just the max; the
+/// snapshot writes null instead of a fake tail.
+constexpr size_t TailSampleFloor = 100;
+
+/// Aggregate of one metric's samples. HasTail gates the p99/p999 fields:
+/// they are only meaningful when enough samples back them.
 struct Aggregate {
-  double Median = 0, P99 = 0, Min = 0, Max = 0;
+  double Median = 0, P99 = 0, P999 = 0, Min = 0, Max = 0;
   size_t Repeats = 0;
+  size_t Samples = 0;
+  bool HasTail = false;
 };
 
 Aggregate aggregate(std::vector<double> Samples) {
@@ -58,13 +76,44 @@ Aggregate aggregate(std::vector<double> Samples) {
   std::sort(Samples.begin(), Samples.end());
   const size_t N = Samples.size();
   A.Repeats = N;
+  A.Samples = N;
   A.Min = Samples.front();
   A.Max = Samples.back();
   A.Median = N % 2 ? Samples[N / 2]
                    : (Samples[N / 2 - 1] + Samples[N / 2]) / 2.0;
-  // Nearest-rank p99 (== max until ~100 samples).
-  size_t Rank = static_cast<size_t>(0.99 * static_cast<double>(N) + 0.5);
-  A.P99 = Samples[std::min(Rank, N - 1)];
+  A.HasTail = N >= TailSampleFloor;
+  if (A.HasTail) {
+    auto NearestRank = [&](double Q) {
+      size_t Rank = static_cast<size_t>(
+          std::ceil(Q * static_cast<double>(N)));
+      Rank = std::max<size_t>(Rank, 1);
+      return Samples[std::min(Rank - 1, N - 1)];
+    };
+    A.P99 = NearestRank(0.99);
+    A.P999 = NearestRank(0.999);
+  }
+  return A;
+}
+
+/// Aggregate from a per-operation latency histogram (values in ns);
+/// \p Scale converts ns to the entry's unit (1e-9 for seconds). The
+/// histogram's own bucketed quantiles are the percentiles — no repeat-
+/// maximum stands in for the tail.
+Aggregate aggregateHistogram(const LatencyHistogram &H, double Scale,
+                             size_t Repeats) {
+  Aggregate A;
+  A.Repeats = Repeats;
+  A.Samples = static_cast<size_t>(H.count());
+  if (!A.Samples)
+    return A;
+  A.Min = static_cast<double>(H.min()) * Scale;
+  A.Max = static_cast<double>(H.max()) * Scale;
+  A.Median = static_cast<double>(H.p50()) * Scale;
+  A.HasTail = A.Samples >= TailSampleFloor;
+  if (A.HasTail) {
+    A.P99 = static_cast<double>(H.p99()) * Scale;
+    A.P999 = static_cast<double>(H.p999()) * Scale;
+  }
   return A;
 }
 
@@ -242,7 +291,10 @@ void runSynQuakeSuite(unsigned Threads, unsigned Repeats, uint64_t Seed,
   P.NumPlayers = Smoke ? 96 : 256;
   P.Frames = Smoke ? 8 : 24;
   P.PhysicsIterations = Smoke ? 200 : 1000;
-  std::vector<double> FrameSeconds;
+  // Per-frame times pooled across repeats into one histogram, so the
+  // published percentiles rank individual frames (24 x 5 = 120 samples
+  // in full mode clears the tail floor) instead of repeat maxima.
+  LatencyHistogram FrameNs;
   for (unsigned R = 0; R < Repeats; ++R) {
     LibTm Tm;
     SynQuakeGame Game(P);
@@ -253,15 +305,57 @@ void runSynQuakeSuite(unsigned Threads, unsigned Repeats, uint64_t Seed,
                            "refusing to record a perf number\n");
       std::exit(2);
     }
-    FrameSeconds.insert(FrameSeconds.end(), Frames.begin(), Frames.end());
+    for (double Sec : Frames)
+      FrameNs.record(static_cast<uint64_t>(Sec * 1e9));
   }
   Entry E;
   E.Suite = "synquake";
   E.Name = "quadrants4";
   E.Threads = Threads;
   E.Unit = "s/frame";
-  E.Agg = aggregate(std::move(FrameSeconds));
+  E.Agg = aggregateHistogram(FrameNs, 1e-9, Repeats);
   Entries.push_back(std::move(E));
+}
+
+/// YCSB-style OLTP tier: skiplist and B-tree, one update-heavy and one
+/// scan/insert mix each; the published metric is per-operation commit
+/// latency in ns with histogram-backed percentiles.
+void runOltpSuite(unsigned Threads, uint64_t Seed, bool Smoke,
+                  std::vector<Entry> &Entries) {
+  struct OltpCase {
+    const char *Structure;
+    const char *MixName;
+  };
+  for (const OltpCase &C : {OltpCase{"skiplist", "a"},
+                            OltpCase{"skiplist", "e"},
+                            OltpCase{"btree", "a"},
+                            OltpCase{"btree", "e"}}) {
+    OltpConfig Cfg;
+    Cfg.Structure = C.Structure;
+    Cfg.Threads = Threads;
+    Cfg.Records = Smoke ? (uint64_t{1} << 12) : (uint64_t{1} << 20);
+    Cfg.Operations = Smoke ? (uint64_t{1} << 14) : (uint64_t{1} << 17);
+    Cfg.Seed = Seed;
+    if (!oltpMixFromName(C.MixName, Cfg.Mix)) {
+      std::fprintf(stderr, "bench_runner: bad oltp mix %s\n", C.MixName);
+      std::exit(2);
+    }
+    OltpResult R = runOltp(Cfg);
+    if (!R.Ok) {
+      std::fprintf(stderr,
+                   "bench_runner: oltp %s/%s failed verification (%s) — "
+                   "refusing to record a perf number\n",
+                   C.Structure, C.MixName, R.Error.c_str());
+      std::exit(2);
+    }
+    Entry E;
+    E.Suite = "oltp";
+    E.Name = std::string(C.Structure) + "_ycsb_" + C.MixName;
+    E.Threads = Threads;
+    E.Unit = "ns/op";
+    E.Agg = aggregateHistogram(R.Latency, 1.0, /*Repeats=*/1);
+    Entries.push_back(std::move(E));
+  }
 }
 
 } // namespace
@@ -276,7 +370,8 @@ int main(int Argc, char **Argv) {
            "where snapshots live and the new one is written (default .)"},
           {"micro-bin", "PATH",
            "micro_stm_ops binary (default <exe>/../../bench/micro_stm_ops)"},
-          {"suite", "S", "all, micro, stamp or synquake (default all)"},
+          {"suite", "S",
+           "all, micro, stamp, synquake or oltp (default all)"},
           {"threads", "T", "fixed thread count for stamp/synquake/micro "
                            "contended ops (default 8)"},
           {"repeats", "N", "repeats per metric (default 5; 2 with --smoke)"},
@@ -316,6 +411,8 @@ int main(int Argc, char **Argv) {
     runStampSuite(Threads, Repeats, Seed, Entries);
   if (All || Suite == "synquake")
     runSynQuakeSuite(Threads, Repeats, Seed, Smoke, Entries);
+  if (All || Suite == "oltp")
+    runOltpSuite(Threads, Seed, Smoke, Entries);
 
   if (Entries.empty()) {
     std::fprintf(stderr, "bench_runner: unknown --suite=%s\n",
@@ -339,8 +436,17 @@ int main(int Argc, char **Argv) {
     W.key("threads").value(uint64_t{E.Threads});
     W.key("unit").value(E.Unit);
     W.key("repeats").value(static_cast<uint64_t>(E.Agg.Repeats));
+    W.key("samples").value(static_cast<uint64_t>(E.Agg.Samples));
     W.key("median").value(E.Agg.Median);
-    W.key("p99").value(E.Agg.P99);
+    // Tail fields are null below the sample floor: a p99 over a handful
+    // of repeats would just republish the max.
+    if (E.Agg.HasTail) {
+      W.key("p99").value(E.Agg.P99);
+      W.key("p999").value(E.Agg.P999);
+    } else {
+      W.key("p99").null();
+      W.key("p999").null();
+    }
     W.key("min").value(E.Agg.Min);
     W.key("max").value(E.Agg.Max);
     W.endObject();
@@ -361,10 +467,16 @@ int main(int Argc, char **Argv) {
 
   std::printf("%-10s %-38s %8s %12s %12s\n", "suite", "name", "threads",
               "median", "p99");
-  for (const Entry &E : Entries)
-    std::printf("%-10s %-38s %8u %12.4g %12.4g  %s\n", E.Suite.c_str(),
-                E.Name.c_str(), E.Threads, E.Agg.Median, E.Agg.P99,
-                E.Unit.c_str());
+  for (const Entry &E : Entries) {
+    if (E.Agg.HasTail)
+      std::printf("%-10s %-38s %8u %12.4g %12.4g  %s\n", E.Suite.c_str(),
+                  E.Name.c_str(), E.Threads, E.Agg.Median, E.Agg.P99,
+                  E.Unit.c_str());
+    else
+      std::printf("%-10s %-38s %8u %12.4g %12s  %s\n", E.Suite.c_str(),
+                  E.Name.c_str(), E.Threads, E.Agg.Median, "-",
+                  E.Unit.c_str());
+  }
   std::printf("bench_runner: wrote %s (%zu entries)\n",
               OutFile.string().c_str(), Entries.size());
   return 0;

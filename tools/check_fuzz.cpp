@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "check/Fuzz.h"
+#include "check/TmdsFuzz.h"
 #include "support/Options.h"
 
 #include <cstdio>
@@ -41,9 +42,13 @@ int main(int Argc, char **Argv) {
           {"seed", "S", "reproduce exactly one seed"},
           {"backend", "B",
            "all, tl2-lazy, tl2-eager, libtm or ref (default all)"},
+          {"workload", "W",
+           "rmw (flat read-modify-write vars), skiplist or btree "
+           "(transactional map over src/tmds; default rmw)"},
           {"threads", "T", "worker threads per iteration"},
           {"txns", "K", "transactions per thread"},
-          {"vars", "V", "shared variables in the workload"},
+          {"vars", "V", "shared variables in the workload (rmw)"},
+          {"keys", "K", "keyspace size (skiplist/btree; default 32)"},
           {"ops", "N", "max operations per transaction"},
           {"preempt-shift", "N", "preemption-point density (power of two)"},
           {"perturb-shift", "N", "schedule-perturbation density"},
@@ -94,6 +99,38 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Structure workloads drive the tmds containers through the same
+  // backends/checkers; the flat rmw workload stays the default.
+  const std::string WorkloadName = Opts.getString("workload", "rmw");
+  const bool TmdsWorkload = WorkloadName != "rmw";
+  TmdsFuzzConfig TCfg;
+  if (TmdsWorkload &&
+      !tmdsStructureFromName(WorkloadName, TCfg.Structure)) {
+    std::fprintf(stderr,
+                 "check_fuzz: unknown --workload=%s (want rmw, skiplist "
+                 "or btree)\n",
+                 WorkloadName.c_str());
+    return 2;
+  }
+  if (TmdsWorkload &&
+      (Cfg.Fault.SkipReadValidation || Cfg.Fault.TornVersionPublish)) {
+    std::fprintf(stderr,
+                 "check_fuzz: fault injection only applies to "
+                 "--workload=rmw\n");
+    return 2;
+  }
+  TCfg.Threads =
+      static_cast<unsigned>(Opts.getInt("threads", TCfg.Threads));
+  TCfg.TxnsPerThread =
+      static_cast<unsigned>(Opts.getInt("txns", TCfg.TxnsPerThread));
+  TCfg.OpsPerTxn =
+      static_cast<unsigned>(Opts.getInt("ops", TCfg.OpsPerTxn));
+  TCfg.Keys = static_cast<unsigned>(Opts.getInt("keys", TCfg.Keys));
+  TCfg.PreemptShift =
+      static_cast<unsigned>(Opts.getInt("preempt-shift", TCfg.PreemptShift));
+  TCfg.PerturbShift =
+      static_cast<unsigned>(Opts.getInt("perturb-shift", TCfg.PerturbShift));
+
   // Which commit orderings to sweep. The single-fence writeback path is
   // the runtime default; --smoke covers the standard ordering too so the
   // legacy path keeps its correctness coverage.
@@ -125,6 +162,55 @@ int main(int Argc, char **Argv) {
   Cfg.SingleFenceCommit = SingleFence;
   for (uint64_t I = 0; I < Count; ++I) {
     const uint64_t Seed = First + I;
+    if (TmdsWorkload) {
+      TCfg.SingleFenceCommit = SingleFence;
+      if (All) {
+        TmdsDifferentialResult D = runTmdsDifferential(Seed, TCfg);
+        for (const auto &[B, R] : D.PerBackend) {
+          Attempts += R.Attempts;
+          Commits += R.Committed;
+          Yields += R.PerturbYields;
+          if (Verbose || !R.passed())
+            std::printf("seed %llu %-9s %s%s%s\n",
+                        static_cast<unsigned long long>(Seed),
+                        fuzzBackendName(B), R.passed() ? "ok" : "FAIL: ",
+                        R.passed() ? "" : R.Error.c_str(),
+                        R.Check.ok() ? "" : " [checker non-Ok]");
+        }
+        if (!D.passed()) {
+          ++Failures;
+          std::printf(
+              "FAIL seed %llu: %s\n"
+              "  repro: check_fuzz --workload=%s --seed=%llu "
+              "--commit-order=%s\n",
+              static_cast<unsigned long long>(Seed), D.Error.c_str(),
+              WorkloadName.c_str(), static_cast<unsigned long long>(Seed),
+              SingleFence ? "single-fence" : "standard");
+        }
+      } else {
+        TmdsRunResult R = runTmdsFuzzIteration(Seed, Only, TCfg);
+        Attempts += R.Attempts;
+        Commits += R.Committed;
+        Yields += R.PerturbYields;
+        if (!R.passed()) {
+          ++Failures;
+          std::printf(
+              "FAIL seed %llu (%s): %s\n"
+              "  repro: check_fuzz --workload=%s --seed=%llu "
+              "--backend=%s --commit-order=%s\n",
+              static_cast<unsigned long long>(Seed),
+              fuzzBackendName(Only), R.Error.c_str(),
+              WorkloadName.c_str(), static_cast<unsigned long long>(Seed),
+              fuzzBackendName(Only),
+              SingleFence ? "single-fence" : "standard");
+        } else if (Verbose) {
+          std::printf("seed %llu %s ok (%zu attempts, %zu commits)\n",
+                      static_cast<unsigned long long>(Seed),
+                      fuzzBackendName(Only), R.Attempts, R.Committed);
+        }
+      }
+      continue;
+    }
     if (All) {
       DifferentialResult D = runDifferential(Seed, Cfg);
       for (const auto &[B, R] : D.PerBackend) {
@@ -170,11 +256,11 @@ int main(int Argc, char **Argv) {
   }
   }
 
-  std::printf("check_fuzz: %llu seed(s) x %zu ordering(s), backend %s: "
-              "%llu failure(s); "
+  std::printf("check_fuzz: %llu seed(s) x %zu ordering(s), workload %s, "
+              "backend %s: %llu failure(s); "
               "%llu attempts / %llu commits, %llu injected yields\n",
               static_cast<unsigned long long>(Count), Orders.size(),
-              BackendName.c_str(),
+              WorkloadName.c_str(), BackendName.c_str(),
               static_cast<unsigned long long>(Failures),
               static_cast<unsigned long long>(Attempts),
               static_cast<unsigned long long>(Commits),
