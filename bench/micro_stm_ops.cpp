@@ -14,6 +14,7 @@
 
 #include "core/GuideController.h"
 #include "core/GuidedPolicy.h"
+#include "engine/Engines.h"
 #include "libtm/LibTm.h"
 #include "model/OnlineLearner.h"
 #include "stm/TVar.h"
@@ -198,6 +199,108 @@ static void BM_Tl2RwAccessObserverAttached(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * ObserverPairBench::Vars);
 }
 BENCHMARK(BM_Tl2RwAccessObserverAttached);
+
+namespace {
+
+/// Templated bodies for the policy-engine family (src/engine): the same
+/// three shapes for every policy — read-only txn, single-location RMW,
+/// and disjoint contended RMW — so the snapshot records one median per
+/// engine per shape and the engines stay comparable against the TL2
+/// rows above. Per-engine wrapper functions (not BENCHMARK_TEMPLATE)
+/// keep the reported names free of template syntax, which is what the
+/// bench_runner ingestion flattens into snapshot keys.
+template <typename Policy>
+void engineReadOnlyTxn(benchmark::State &State) {
+  EngineStm<Policy> Stm;
+  TVar<uint64_t> X{42};
+  EngineTxn<Policy> Txn(Stm, 0);
+  for (auto _ : State) {
+    uint64_t V = 0;
+    Txn.run(1, [&](EngineTxn<Policy> &Tx) { V = Tx.load(X); });
+    benchmark::DoNotOptimize(V);
+  }
+}
+
+template <typename Policy>
+void engineWriteTxn(benchmark::State &State) {
+  EngineStm<Policy> Stm;
+  TVar<uint64_t> X{0};
+  EngineTxn<Policy> Txn(Stm, 0);
+  for (auto _ : State)
+    Txn.run(1, [&](EngineTxn<Policy> &Tx) {
+      Tx.store(X, Tx.load(X) + 1);
+    });
+}
+
+/// Engine twin of DisjointBenchState: per-thread padded TVars on one
+/// shared engine instance, so the multi-threaded rows measure lock-table
+/// and clock traffic, not data conflicts.
+template <typename Policy> struct EngineDisjointState {
+  static constexpr size_t MaxThreads = 64;
+  EngineStm<Policy> Stm;
+  struct alignas(256) PaddedVar {
+    TVar<uint64_t> Var;
+  };
+  std::vector<PaddedVar> Vars;
+  EngineDisjointState() : Vars(MaxThreads) {}
+};
+
+template <typename Policy>
+void engineDisjointWriteTxn(benchmark::State &State) {
+  static EngineDisjointState<Policy> G; // magic static, see above
+  auto Thread = static_cast<ThreadId>(State.thread_index());
+  EngineTxn<Policy> Txn(G.Stm, Thread);
+  TVar<uint64_t> &Mine = G.Vars[State.thread_index()].Var;
+  for (auto _ : State)
+    Txn.run(1, [&](EngineTxn<Policy> &Tx) {
+      Tx.store(Mine, Tx.load(Mine) + 1);
+    });
+  State.SetItemsProcessed(State.iterations());
+}
+
+} // namespace
+
+static void BM_OrecEagerReadOnlyTxn(benchmark::State &State) {
+  engineReadOnlyTxn<OrecEagerPolicy>(State);
+}
+BENCHMARK(BM_OrecEagerReadOnlyTxn);
+static void BM_OrecEagerWriteTxn(benchmark::State &State) {
+  engineWriteTxn<OrecEagerPolicy>(State);
+}
+BENCHMARK(BM_OrecEagerWriteTxn);
+static void BM_OrecEagerDisjointWriteTxn(benchmark::State &State) {
+  engineDisjointWriteTxn<OrecEagerPolicy>(State);
+}
+BENCHMARK(BM_OrecEagerDisjointWriteTxn)
+    ->Threads(1)
+    ->Threads(8)
+    ->UseRealTime();
+
+static void BM_TlrwReadOnlyTxn(benchmark::State &State) {
+  engineReadOnlyTxn<TlrwPolicy>(State);
+}
+BENCHMARK(BM_TlrwReadOnlyTxn);
+static void BM_TlrwWriteTxn(benchmark::State &State) {
+  engineWriteTxn<TlrwPolicy>(State);
+}
+BENCHMARK(BM_TlrwWriteTxn);
+static void BM_TlrwDisjointWriteTxn(benchmark::State &State) {
+  engineDisjointWriteTxn<TlrwPolicy>(State);
+}
+BENCHMARK(BM_TlrwDisjointWriteTxn)->Threads(1)->Threads(8)->UseRealTime();
+
+static void BM_TwoPlReadOnlyTxn(benchmark::State &State) {
+  engineReadOnlyTxn<TwoPlPolicy>(State);
+}
+BENCHMARK(BM_TwoPlReadOnlyTxn);
+static void BM_TwoPlWriteTxn(benchmark::State &State) {
+  engineWriteTxn<TwoPlPolicy>(State);
+}
+BENCHMARK(BM_TwoPlWriteTxn);
+static void BM_TwoPlDisjointWriteTxn(benchmark::State &State) {
+  engineDisjointWriteTxn<TwoPlPolicy>(State);
+}
+BENCHMARK(BM_TwoPlDisjointWriteTxn)->Threads(1)->Threads(8)->UseRealTime();
 
 static void BM_GatePolicyLookup(benchmark::State &State) {
   // Cost of one gate check against a compiled policy (the hot-path add-on

@@ -8,6 +8,7 @@
 #include "check/Fuzz.h"
 
 #include "check/Perturb.h"
+#include "engine/Engines.h"
 #include "libtm/LibTm.h"
 #include "stm/TVar.h"
 #include "support/SplitMix64.h"
@@ -28,6 +29,12 @@ const char *gstm::fuzzBackendName(FuzzBackend B) {
     return "tl2-eager";
   case FuzzBackend::LibTm:
     return "libtm";
+  case FuzzBackend::OrecEager:
+    return OrecEagerPolicy::Name;
+  case FuzzBackend::Tlrw:
+    return TlrwPolicy::Name;
+  case FuzzBackend::TwoPlUndo:
+    return TwoPlPolicy::Name;
   case FuzzBackend::Reference:
     return "ref";
   }
@@ -180,6 +187,68 @@ FuzzRunResult runTl2(const FuzzPlan &Plan, uint64_t Seed,
   return R;
 }
 
+/// One runner covers all three policy-templated engines: the chassis
+/// mirrors Tl2Stm's observer/stats surface, so only the table type (and
+/// hence the residue probe) varies per policy.
+template <typename Policy>
+FuzzRunResult runEngine(const FuzzPlan &Plan, uint64_t Seed,
+                        const FuzzConfig &Cfg) {
+  FuzzRunResult R;
+  R.Expected = Plan.expectedFinal();
+
+  EngineConfig C;
+  C.TableBits = 10; // small table: deliberate entry aliasing pressure
+  C.PreemptShift = Cfg.PreemptShift;
+  C.SingleFenceCommit = Cfg.SingleFenceCommit;
+  C.Fault = Cfg.EngineFault;
+  EngineStm<Policy> Stm(C);
+
+  std::deque<TVar<uint64_t>> Vars;
+  for (unsigned I = 0; I < Cfg.Vars; ++I)
+    Vars.emplace_back(Plan.Initial[I]);
+
+  HistoryRecorder Rec(Cfg.Threads);
+  for (unsigned I = 0; I < Cfg.Vars; ++I)
+    Rec.noteInitial(&Vars[I].word(), Plan.Initial[I]);
+  SchedulePerturber Perturb(Cfg.Threads, Seed, &Rec, Cfg.PerturbShift);
+  Stm.setAccessObserver(&Perturb);
+  Stm.setObserver(&Rec);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Cfg.Threads; ++T)
+    Workers.emplace_back([&, T] {
+      EngineTxn<Policy> Txn(Stm, T);
+      const std::vector<FuzzTxn> &Txns = Plan.PerThread[T];
+      for (size_t K = 0; K < Txns.size(); ++K)
+        Txn.run(static_cast<TxId>(K), [&](EngineTxn<Policy> &Tx) {
+          for (const FuzzOp &Op : Txns[K].Ops) {
+            uint64_t V = Tx.load(Vars[Op.Var]);
+            if (Op.IsWrite)
+              Tx.store(Vars[Op.Var], V + Op.Delta);
+          }
+        });
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  Stm.setAccessObserver(nullptr);
+  Stm.setObserver(nullptr);
+  R.PerturbYields = Perturb.yieldCount();
+
+  R.Final.resize(Cfg.Vars);
+  for (unsigned I = 0; I < Cfg.Vars; ++I)
+    R.Final[I] = Vars[I].loadDirect();
+
+  std::string Residue;
+  if constexpr (std::is_same_v<typename Policy::Table, ByteLockTable>)
+    byteLockTableQuiescent(Stm.table(), &Residue);
+  else
+    lockTableQuiescent(Stm.table(), &Residue);
+  judge(R, Rec.take(), Cfg,
+        size_t{Cfg.Threads} * Cfg.TxnsPerThread, Residue);
+  return R;
+}
+
 FuzzRunResult runLibTm(const FuzzPlan &Plan, uint64_t Seed,
                        const FuzzConfig &Cfg) {
   FuzzRunResult R;
@@ -302,6 +371,12 @@ FuzzRunResult gstm::runFuzzIteration(uint64_t Seed, FuzzBackend Backend,
     return runTl2(Plan, Seed, ConflictDetection::Eager, Cfg);
   case FuzzBackend::LibTm:
     return runLibTm(Plan, Seed, Cfg);
+  case FuzzBackend::OrecEager:
+    return runEngine<OrecEagerPolicy>(Plan, Seed, Cfg);
+  case FuzzBackend::Tlrw:
+    return runEngine<TlrwPolicy>(Plan, Seed, Cfg);
+  case FuzzBackend::TwoPlUndo:
+    return runEngine<TwoPlPolicy>(Plan, Seed, Cfg);
   case FuzzBackend::Reference:
     return runReference(Plan, Cfg);
   }

@@ -8,10 +8,10 @@
 /// \file
 /// Seeded, reproducible STM fuzzing: a seed expands into a FuzzPlan — a
 /// fixed population of read-modify-write transactions over a small TVar
-/// array — which runs under any of four backend configurations (TL2 lazy,
-/// TL2 eager, LibTm, and a single-threaded reference interpreter) with
-/// schedule perturbation and full history recording. Each run is judged
-/// three ways:
+/// array — which runs under any backend configuration (TL2 lazy, TL2
+/// eager, LibTm, the three policy-templated engines from src/engine, and
+/// a single-threaded reference interpreter) with schedule perturbation
+/// and full history recording. Each run is judged three ways:
 ///
 ///  * the recorded history must pass the checkers (check/Checker.h),
 ///  * the final memory state must equal the plan's analytic expectation
@@ -31,6 +31,7 @@
 
 #include "check/Checker.h"
 #include "check/History.h"
+#include "engine/Core.h"
 #include "stm/Tl2.h"
 
 #include <cstdint>
@@ -47,6 +48,13 @@ enum class FuzzBackend : uint8_t {
   Tl2Eager,
   /// Object-based LibTm, one TObj<uint64_t> per variable.
   LibTm,
+  /// Policy-templated engines (src/engine): orec-based encounter-time
+  /// locking with undo log and commit-time read validation,
+  OrecEager,
+  /// TLRW-style visible-reader bytelocks (no commit validation),
+  Tlrw,
+  /// and no-wait strict two-phase locking over the stripe table.
+  TwoPlUndo,
   /// Single-threaded reference interpreter: executes the plan serially
   /// and synthesizes the history by hand. Known-good ground truth for
   /// both the differential comparison and the checkers themselves.
@@ -58,9 +66,12 @@ const char *fuzzBackendName(FuzzBackend B);
 /// Inverse of fuzzBackendName; returns false when \p Name is unknown.
 bool fuzzBackendFromName(const std::string &Name, FuzzBackend &Out);
 
-/// All four backends, in fuzzBackendName order.
+/// Every backend, in fuzzBackendName order: the two hand-written
+/// runtimes in their modes, the three policy-templated engines, and the
+/// serial reference.
 inline constexpr FuzzBackend AllFuzzBackends[] = {
-    FuzzBackend::Tl2Lazy, FuzzBackend::Tl2Eager, FuzzBackend::LibTm,
+    FuzzBackend::Tl2Lazy,   FuzzBackend::Tl2Eager, FuzzBackend::LibTm,
+    FuzzBackend::OrecEager, FuzzBackend::Tlrw,     FuzzBackend::TwoPlUndo,
     FuzzBackend::Reference};
 
 /// Shape of the generated workloads. The defaults are sized for a
@@ -85,6 +96,9 @@ struct FuzzConfig {
   bool SingleFenceCommit = true;
   /// Fault injection for the TL2 backends (mutation self-test only).
   Tl2FaultInjection Fault;
+  /// Fault injection for the policy-templated engine backends (mutation
+  /// self-test only; see EngineFaultInjection for the per-engine knobs).
+  EngineFaultInjection EngineFault;
   CheckerConfig Checker;
 };
 
@@ -140,7 +154,7 @@ struct FuzzRunResult {
 FuzzRunResult runFuzzIteration(uint64_t Seed, FuzzBackend Backend,
                                const FuzzConfig &Cfg = FuzzConfig());
 
-/// Outcome of one seed across all four backends.
+/// Outcome of one seed across all backends.
 struct DifferentialResult {
   std::vector<std::pair<FuzzBackend, FuzzRunResult>> PerBackend;
   /// Empty when every backend passed and all final states agree.

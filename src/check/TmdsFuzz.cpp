@@ -308,6 +308,30 @@ TmdsRunResult runLibTmDs(const TmdsPlan &Plan, uint64_t Seed,
       });
 }
 
+/// One runner for the three policy-templated engines; the engine table's
+/// residue probe is the whole-table quiescence check matching the
+/// policy's table type.
+template <typename Policy, template <typename> class DSTmpl>
+TmdsRunResult runEngineDs(const TmdsPlan &Plan, uint64_t Seed,
+                          const TmdsFuzzConfig &Cfg) {
+  EngineConfig C;
+  C.TableBits = 10; // small table: deliberate entry aliasing pressure
+  C.PreemptShift = Cfg.PreemptShift;
+  C.SingleFenceCommit = Cfg.SingleFenceCommit;
+  EngineStm<Policy> Stm(C);
+  return runOn<EngineBackend<Policy>, DSTmpl>(
+      Stm, Plan, Seed, Cfg, /*Serial=*/false,
+      [](EngineStm<Policy> &S, auto &) {
+        std::string Why;
+        if constexpr (std::is_same_v<typename Policy::Table,
+                                     ByteLockTable>)
+          byteLockTableQuiescent(S.table(), &Why);
+        else
+          lockTableQuiescent(S.table(), &Why);
+        return Why;
+      });
+}
+
 template <template <typename> class DSTmpl>
 TmdsRunResult runForStructure(const TmdsPlan &Plan, uint64_t Seed,
                               FuzzBackend Backend,
@@ -321,6 +345,12 @@ TmdsRunResult runForStructure(const TmdsPlan &Plan, uint64_t Seed,
                             /*Serial=*/false);
   case FuzzBackend::LibTm:
     return runLibTmDs<DSTmpl>(Plan, Seed, Cfg);
+  case FuzzBackend::OrecEager:
+    return runEngineDs<OrecEagerPolicy, DSTmpl>(Plan, Seed, Cfg);
+  case FuzzBackend::Tlrw:
+    return runEngineDs<TlrwPolicy, DSTmpl>(Plan, Seed, Cfg);
+  case FuzzBackend::TwoPlUndo:
+    return runEngineDs<TwoPlPolicy, DSTmpl>(Plan, Seed, Cfg);
   case FuzzBackend::Reference:
     // Ground truth: the same plan on the TL2-backed structure, executed
     // by one worker thread-major — a genuinely serial interleaving whose

@@ -10,7 +10,8 @@
 /// instead of read-modify-write transactions over a flat array, each seed
 /// expands into a randomized map workload (insert/update/remove/find/
 /// scan/size) over a transactional skiplist or B-tree (src/tmds), run
-/// under the same four backends — TL2 lazy, TL2 eager, LibTm, and a
+/// under the same backend matrix — TL2 lazy, TL2 eager, LibTm, the
+/// policy-templated engines (orec-eager, tlrw, 2pl-undo), and a
 /// serial reference execution — with seeded schedule perturbation and
 /// full history checking.
 ///
@@ -114,7 +115,7 @@ struct TmdsRunResult {
 TmdsRunResult runTmdsFuzzIteration(uint64_t Seed, FuzzBackend Backend,
                                    const TmdsFuzzConfig &Cfg);
 
-/// One seed across all four backends plus cross-backend agreement on the
+/// One seed across all backends plus cross-backend agreement on the
 /// final contents.
 struct TmdsDifferentialResult {
   std::vector<std::pair<FuzzBackend, TmdsRunResult>> PerBackend;

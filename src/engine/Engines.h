@@ -1,0 +1,49 @@
+//===- engine/Engines.h - The policy-templated engine family -------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the engine family: include this to get every
+/// policy plus the name registry the tools use to spell engines on the
+/// command line. The hand-written TL2 (src/stm) and LibTm (src/libtm)
+/// runtimes are the other members of the family — they share the
+/// executor, clock, ring, stats, and observer surfaces but keep their
+/// own descriptors; see DESIGN.md §4i for the full matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_ENGINE_ENGINES_H
+#define GSTM_ENGINE_ENGINES_H
+
+#include "engine/OrecEager.h"
+#include "engine/Tlrw.h"
+#include "engine/TwoPl.h"
+
+#include <type_traits>
+
+namespace gstm {
+
+/// Command-line names of the policy-templated engines, in the order the
+/// tools enumerate them.
+inline constexpr const char *EngineFamilyNames[] = {
+    OrecEagerPolicy::Name, // "orec-eager"
+    TlrwPolicy::Name,      // "tlrw"
+    TwoPlPolicy::Name,     // "2pl-undo"
+};
+
+/// Applies \p Fn to each policy type (as a std::type_identity tag), for
+/// code that iterates the family generically:
+/// `forEachEnginePolicy([&](auto Tag) {
+///    using Policy = typename decltype(Tag)::type; ... });`
+template <typename FnT> void forEachEnginePolicy(FnT &&Fn) {
+  Fn(std::type_identity<OrecEagerPolicy>{});
+  Fn(std::type_identity<TlrwPolicy>{});
+  Fn(std::type_identity<TwoPlPolicy>{});
+}
+
+} // namespace gstm
+
+#endif // GSTM_ENGINE_ENGINES_H

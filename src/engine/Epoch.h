@@ -1,0 +1,103 @@
+//===- engine/Epoch.h - Per-thread epoch quiescence ----------------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Epoch-based quiescence for the engine family (zardoshti-style
+/// `epochs.h` lineage). Every transaction attempt enters the current
+/// global epoch before touching shared state and leaves it on
+/// commit/abort; `quiesce()` advances the global epoch and waits until no
+/// thread is still inside an older one. The runtimes use it to give
+/// harness code (residue checks, table reconfiguration, teardown) a
+/// point at which no attempt from before the call can still be mid-flight
+/// with locks or in-place writes outstanding.
+///
+/// The cost on the attempt path is two stores into a thread-private
+/// cache line; quiesce() is the only scanning (and only blocking) side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_ENGINE_EPOCH_H
+#define GSTM_ENGINE_EPOCH_H
+
+#include "support/Ids.h"
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <thread>
+
+namespace gstm {
+
+/// Per-thread epoch slots plus a global epoch counter. One instance per
+/// engine runtime; thread slots are indexed by worker ThreadId.
+class EpochManager {
+public:
+  static constexpr size_t MaxThreads = 64;
+
+  /// Marks \p Thread as active in the current global epoch. Called at
+  /// attempt begin; must be paired with exit().
+  void enter(ThreadId Thread) {
+    assert(Thread < MaxThreads && "thread id out of epoch range");
+    Slots[Thread].E.store(Global.load(std::memory_order_acquire),
+                          std::memory_order_release);
+    // Order the slot publication before the attempt's subsequent shared
+    // loads so a concurrent quiesce() scan cannot miss an attempt that
+    // then observes pre-quiesce state.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Marks \p Thread as quiescent. Called at attempt end (commit or
+  /// abort), after all locks are released and undo is replayed.
+  void exit(ThreadId Thread) {
+    assert(Thread < MaxThreads && "thread id out of epoch range");
+    Slots[Thread].E.store(0, std::memory_order_release);
+  }
+
+  /// True when \p Thread is currently inside an attempt.
+  bool active(ThreadId Thread) const {
+    return Slots[Thread].E.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Advances the global epoch and blocks until every thread that was
+  /// active in an older epoch has exited (or re-entered in the new one).
+  /// Threads entering after the advance do not block the caller.
+  void quiesce() {
+    uint64_t Target =
+        Global.fetch_add(1, std::memory_order_acq_rel) + 1;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (size_t I = 0; I < MaxThreads; ++I) {
+      unsigned Spins = 0;
+      for (;;) {
+        uint64_t E = Slots[I].E.load(std::memory_order_acquire);
+        if (E == 0 || E >= Target)
+          break;
+        if (++Spins >= 64) {
+          std::this_thread::yield();
+          Spins = 0;
+        }
+      }
+    }
+  }
+
+  /// Number of completed quiesce() rounds plus one (exposed for tests).
+  uint64_t currentEpoch() const {
+    return Global.load(std::memory_order_acquire);
+  }
+
+private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> E{0};
+  };
+
+  /// Starts at 1 so an active slot is never 0 (0 = quiescent).
+  std::atomic<uint64_t> Global{1};
+  Slot Slots[MaxThreads];
+};
+
+} // namespace gstm
+
+#endif // GSTM_ENGINE_EPOCH_H

@@ -253,23 +253,11 @@ void LibTxn::retryAbort() {
 
 void LibTxn::reportAbortAndThrow(const AbortEvent &E) {
   assert(Acquired.empty() && "locks must be released before reporting");
+  LastOpens = opensCount();
+  LastEnemyKnown = E.Kind == AbortCauseKind::KnownCommitter;
+  LastEnemy = LastEnemyKnown ? E.Cause : 0;
   Shard->recordAbort(E.Kind, E.Site);
   if (TxEventObserver *Obs = S.observer())
     Obs->onAbort(E);
   throw TxAbortException{};
-}
-
-void LibTxn::backoff(uint32_t Attempts) const {
-  switch (S.config().Backoff) {
-  case BackoffKind::None:
-    return;
-  case BackoffKind::Yield:
-    std::this_thread::yield();
-    return;
-  case BackoffKind::Exponential: {
-    unsigned Shift = std::min(Attempts, 10u);
-    std::this_thread::sleep_for(std::chrono::nanoseconds(50ull << Shift));
-    return;
-  }
-  }
 }

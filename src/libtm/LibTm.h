@@ -142,6 +142,11 @@ public:
 
   void setObserver(TxEventObserver *Obs) { Observer = Obs; }
   void setGate(StartGate *G) { Gate = G; }
+  /// Installs a contention manager that overrides the config's backoff
+  /// policy (nullptr to restore it). Must not be called while
+  /// transactions are running. Historically a TL2-only capability; the
+  /// shared executor (engine/TxnExecutor.h) made it a family-wide trait.
+  void setContentionManager(ContentionManager *M) { Cm = M; }
   /// Installs \p Obs as the per-access observer (nullptr to disable, the
   /// default); same contract as Tl2Stm::setAccessObserver. Accesses are
   /// reported object-granular: Addr = the TObjBase, Value = payload word
@@ -153,6 +158,7 @@ public:
   CommitRing &commitRing() { return Ring; }
   TxEventObserver *observer() const { return Observer; }
   StartGate *gate() const { return Gate; }
+  ContentionManager *contentionManager() const { return Cm; }
   TxAccessObserver *accessObserver() const { return AccessObs; }
   /// Sharded per-thread telemetry (see stm/StatsShard.h).
   Tl2Stats &stats() { return Counters; }
@@ -164,46 +170,21 @@ private:
   CommitRing Ring;
   TxEventObserver *Observer = nullptr;
   StartGate *Gate = nullptr;
+  ContentionManager *Cm = nullptr;
   TxAccessObserver *AccessObs = nullptr;
   Tl2Stats Counters;
 };
 
-/// Per-thread transaction descriptor for LibTm.
-class LibTxn {
+/// Per-thread transaction descriptor for LibTm. The retry loop (`run`)
+/// comes from the shared engine-family executor (engine/TxnExecutor.h),
+/// which also gives LibTm contention-manager support for free.
+class LibTxn : public TxnExecutor<LibTxn> {
 public:
   LibTxn(LibTm &Tm, ThreadId Thread)
-      : S(Tm), Thread(Thread), Shard(&Tm.stats().shard(Thread)),
-        PreemptLcg(0x2545f4914f6cdd1dULL ^
-                   (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
+      : TxnExecutor<LibTxn>(Thread), S(Tm), Thread(Thread),
+        Shard(&Tm.stats().shard(Thread)) {}
   LibTxn(const LibTxn &) = delete;
   LibTxn &operator=(const LibTxn &) = delete;
-
-  /// Executes \p Body transactionally at site \p Tx, retrying until
-  /// commit.
-  template <typename BodyFn> void run(TxId Tx, BodyFn &&Body) {
-    const bool TrackLatency = S.config().TrackAttemptLatency;
-    uint32_t Attempts = 0;
-    for (;;) {
-      if (StartGate *G = S.gate())
-        G->onTxStart(Thread, Tx);
-      std::chrono::steady_clock::time_point AttemptStart;
-      if (TrackLatency)
-        AttemptStart = std::chrono::steady_clock::now();
-      begin(Tx);
-      try {
-        Body(*this);
-        commitOrThrow(Attempts);
-        if (TrackLatency)
-          recordAttemptLatency(AttemptStart);
-        return;
-      } catch (const TxAbortException &) {
-        if (TrackLatency)
-          recordAttemptLatency(AttemptStart);
-      }
-      ++Attempts;
-      backoff(Attempts);
-    }
-  }
 
   /// Transactional snapshot read of an object.
   template <typename T> T read(const TObj<T> &Obj) {
@@ -232,6 +213,15 @@ public:
   size_t writeSetSize() const { return WriteObjs.size(); }
 
 private:
+  friend class TxnExecutor<LibTxn>;
+
+  /// Executor contract (engine/TxnExecutor.h).
+  LibTm &stm() { return S; }
+  StatsShard *shard() { return Shard; }
+  /// Locations this attempt opened (contention-manager currency): logged
+  /// reads plus buffered object writes.
+  uint64_t opensCount() const { return ReadSet.size() + WriteObjs.size(); }
+
   void begin(TxId Tx);
   /// Copies a validated snapshot of \p Obj into \p Out (or the buffered
   /// write if present).
@@ -242,30 +232,11 @@ private:
   /// metadata words, attribution walk only when something is suspicious);
   /// releases the acquired locks and throws on conflict.
   void validateReadSet(TxThreadPair Self);
-  void backoff(uint32_t Attempts) const;
 
   [[noreturn]] void abortOnOwner(TxThreadPair Owner, AbortSite Site);
   [[noreturn]] void abortOnVersion(uint64_t Version, AbortSite Site);
   [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
   void releaseAcquiredLocks();
-
-  void recordAttemptLatency(std::chrono::steady_clock::time_point Start) {
-    Shard->recordAttempt(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - Start)
-            .count()));
-  }
-
-  /// Scheduler perturbation (see LibTmConfig::PreemptShift).
-  void maybePreempt() {
-    unsigned Shift = S.config().PreemptShift;
-    if (Shift == 0)
-      return;
-    PreemptLcg = PreemptLcg * 6364136223846793005ULL +
-                 1442695040888963407ULL;
-    if (((PreemptLcg >> 33) & ((uint64_t{1} << Shift) - 1)) == 0)
-      std::this_thread::yield();
-  }
 
   LibTm &S;
   ThreadId Thread;
@@ -273,7 +244,6 @@ private:
   StatsShard *Shard;
   TxId CurrentTx = 0;
   uint64_t Rv = 0;
-  uint64_t PreemptLcg;
 
   /// Per-attempt logs; inline-capacity containers for the same reasons
   /// as Tl2Txn's (no heap traffic for common transaction sizes, O(1)

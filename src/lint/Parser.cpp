@@ -17,8 +17,13 @@ bool gstm::lint::isTxnHandleType(std::string_view TypeName) {
   // structures take `typename B::Txn &`, which lexes as a plain `Txn`
   // parameter. Treating it as a handle classifies those bodies as
   // transactional contexts, same as their concrete instantiations.
+  // The policy-engine family (src/engine) contributes the per-policy
+  // aliases plus the generic chassis name: `EngineTxn<P> &` lexes as
+  // `EngineTxn` once the template group is stripped.
   return TypeName == "Tl2Txn" || TypeName == "LibTxn" ||
-         TypeName == "LibTmTxn" || TypeName == "Txn";
+         TypeName == "LibTmTxn" || TypeName == "Txn" ||
+         TypeName == "OrecEagerTxn" || TypeName == "TlrwTxn" ||
+         TypeName == "TwoPlTxn" || TypeName == "EngineTxn";
 }
 
 namespace {

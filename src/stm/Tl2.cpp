@@ -395,19 +395,3 @@ void Tl2Txn::reportAbortAndThrow(const AbortEvent &E) {
     Obs->onAbort(E);
   throw TxAbortException{};
 }
-
-void Tl2Txn::backoff(uint32_t Attempts) const {
-  switch (S.config().Backoff) {
-  case BackoffKind::None:
-    return;
-  case BackoffKind::Yield:
-    std::this_thread::yield();
-    return;
-  case BackoffKind::Exponential: {
-    unsigned Shift = std::min(Attempts, 10u);
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(50ull << Shift));
-    return;
-  }
-  }
-}

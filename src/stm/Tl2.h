@@ -35,6 +35,7 @@
 #ifndef GSTM_STM_TL2_H
 #define GSTM_STM_TL2_H
 
+#include "engine/TxnExecutor.h"
 #include "stm/CommitRing.h"
 #include "stm/Contention.h"
 #include "stm/LockTable.h"
@@ -57,11 +58,6 @@ namespace gstm {
 
 template <typename T> class TVar;
 
-/// Internal control-flow token thrown on transaction abort and caught by
-/// Tl2Txn::run's retry loop. Never escapes the STM; user code must not
-/// catch it.
-struct TxAbortException {};
-
 /// When conflicts are detected (paper Sec. II: "STMs provide options of
 /// eager and lazy conflict detection").
 enum class ConflictDetection : uint8_t {
@@ -71,17 +67,6 @@ enum class ConflictDetection : uint8_t {
   /// Encounter-time locking with in-place (write-through) updates and an
   /// undo log; conflicting writers abort at first touch.
   Eager,
-};
-
-/// Retry back-off policy applied after an abort.
-enum class BackoffKind : uint8_t {
-  /// Retry immediately.
-  None,
-  /// Yield the CPU once; avoids burning a scheduling quantum re-aborting
-  /// against a descheduled lock holder (we run more threads than cores).
-  Yield,
-  /// Exponentially growing sleep, capped.
-  Exponential,
 };
 
 /// Deliberately broken STM behavior for the correctness harness's
@@ -195,58 +180,16 @@ private:
 
 /// Per-thread transaction descriptor. Reused across transactions; the
 /// read/write sets keep their capacity between runs. Not thread-safe: one
-/// descriptor per worker thread.
-class Tl2Txn {
+/// descriptor per worker thread. The retry loop (`run`) comes from the
+/// shared engine-family executor (engine/TxnExecutor.h).
+class Tl2Txn : public TxnExecutor<Tl2Txn> {
 public:
   Tl2Txn(Tl2Stm &Stm, ThreadId Thread)
-      : S(Stm), Thread(Thread), Shard(&Stm.stats().shard(Thread)),
-        PreemptLcg(0x2545f4914f6cdd1dULL ^
-                   (uint64_t{Thread} * 0x9e3779b97f4a7c15ULL)) {}
+      : TxnExecutor<Tl2Txn>(Thread), S(Stm), Thread(Thread),
+        Shard(&Stm.stats().shard(Thread)) {}
 
   Tl2Txn(const Tl2Txn &) = delete;
   Tl2Txn &operator=(const Tl2Txn &) = delete;
-
-  /// Executes \p Body transactionally at static site \p Tx, retrying on
-  /// conflict until the transaction commits. \p Body receives this
-  /// descriptor and must funnel every shared access through load/store.
-  template <typename BodyFn> void run(TxId Tx, BodyFn &&Body) {
-    ContentionManager *Cm = S.contentionManager();
-    if (Cm)
-      Cm->onTxBegin(Thread);
-    const bool TrackLatency = S.config().TrackAttemptLatency;
-    uint32_t Attempts = 0;
-    for (;;) {
-      if (StartGate *G = S.gate())
-        G->onTxStart(Thread, Tx);
-      std::chrono::steady_clock::time_point AttemptStart;
-      if (TrackLatency)
-        AttemptStart = std::chrono::steady_clock::now();
-      begin(Tx);
-      try {
-        Body(*this);
-        commitOrThrow(Attempts);
-        if (TrackLatency)
-          recordAttemptLatency(AttemptStart);
-        if (Cm)
-          Cm->onCommit(Thread, opensCount());
-        return;
-      } catch (const TxAbortException &) {
-        // Cause already reported; locks already released.
-        if (TrackLatency)
-          recordAttemptLatency(AttemptStart);
-      }
-      ++Attempts;
-      if (Cm) {
-        uint64_t Ns =
-            Cm->onAbort(Thread, LastEnemy, LastEnemyKnown, Attempts,
-                        LastOpens);
-        if (Ns > 0)
-          std::this_thread::sleep_for(std::chrono::nanoseconds(Ns));
-      } else {
-        backoff(Attempts);
-      }
-    }
-  }
 
   /// Transactional read of a raw 64-bit word.
   uint64_t loadWord(const std::atomic<uint64_t> &Word);
@@ -278,6 +221,8 @@ public:
   size_t writeSetSize() const { return WriteLog.size(); }
 
 private:
+  friend class TxnExecutor<Tl2Txn>;
+
   struct WriteEntry {
     std::atomic<uint64_t> *Addr;
     uint64_t Value;
@@ -286,6 +231,10 @@ private:
     size_t StripeIndex;
     uint64_t PreviousWord;
   };
+
+  /// Executor contract (engine/TxnExecutor.h).
+  Tl2Stm &stm() { return S; }
+  StatsShard *shard() { return Shard; }
 
   void begin(TxId Tx);
   /// Commits the attempt or reports the abort cause and throws.
@@ -296,24 +245,12 @@ private:
   /// clears the common all-clean case without a single conditional; only
   /// a suspicious read set pays the per-stripe attribution walk.
   void validateReadSet(TxThreadPair Self);
-  void backoff(uint32_t Attempts) const;
 
   /// Eager-mode store: lock the stripe at first touch, log the old value
   /// and write in place.
   void storeWordEager(std::atomic<uint64_t> &Word, uint64_t Value);
   /// Reverts in-place writes of an aborting eager attempt.
   void undoEagerWrites();
-
-  /// Scheduler perturbation (see Tl2Config::PreemptShift).
-  void maybePreempt() {
-    unsigned Shift = S.config().PreemptShift;
-    if (Shift == 0)
-      return;
-    PreemptLcg = PreemptLcg * 6364136223846793005ULL +
-                 1442695040888963407ULL;
-    if (((PreemptLcg >> 33) & ((uint64_t{1} << Shift) - 1)) == 0)
-      std::this_thread::yield();
-  }
 
   /// Reports an abort caused by a known conflicting committer and throws;
   /// \p Site tags where in the attempt the conflict surfaced.
@@ -333,12 +270,6 @@ private:
     return ReadSet.size() + WriteLog.size() + UndoLog.size();
   }
 
-  void recordAttemptLatency(std::chrono::steady_clock::time_point Start) {
-    Shard->recordAttempt(static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - Start)
-            .count()));
-  }
   void releaseAcquiredLocks();
   /// Pre-lock word of a stripe this commit already locked (stripe must be
   /// in Acquired).
@@ -358,12 +289,6 @@ private:
   StatsShard *Shard;
   TxId CurrentTx = 0;
   uint64_t Rv = 0;
-  uint64_t PreemptLcg;
-  /// Conflicting transaction of the most recent abort and the aborted
-  /// attempt's read+write set size, for contention managers.
-  TxThreadPair LastEnemy = 0;
-  bool LastEnemyKnown = false;
-  uint64_t LastOpens = 0;
 
   /// Per-attempt logs. MiniVector/PtrIndexMap rather than std::vector /
   /// std::unordered_map: the inline capacities below cover the common

@@ -34,6 +34,7 @@
 #ifndef GSTM_TMDS_TMBACKEND_H
 #define GSTM_TMDS_TMBACKEND_H
 
+#include "engine/Engines.h"
 #include "libtm/LibTm.h"
 #include "stm/LockTable.h"
 #include "stm/TVar.h"
@@ -127,6 +128,57 @@ struct LibTmBackend {
         .Locked;
   }
 };
+
+/// Word-based backend over the policy-templated engine family
+/// (src/engine): cells are TVar<T> exactly as on TL2, so cellAddr and
+/// cellRaw report the same encoding; only the per-cell residue probe
+/// depends on the policy's table type (stripe word vs ByteLock entry).
+template <typename Policy> struct EngineBackend {
+  using Stm = EngineStm<Policy>;
+  using Txn = EngineTxn<Policy>;
+  template <typename T> using Cell = TVar<T>;
+
+  static constexpr const char *Name = Policy::Name;
+
+  template <typename T> static T load(Txn &Tx, const Cell<T> &C) {
+    return Tx.load(C);
+  }
+  template <typename T>
+  static void store(Txn &Tx, Cell<T> &C, std::type_identity_t<T> Value) {
+    Tx.store(C, Value);
+  }
+  template <typename T> static T loadDirect(const Cell<T> &C) {
+    return C.loadDirect();
+  }
+  template <typename T>
+  static void storeDirect(Cell<T> &C, std::type_identity_t<T> Value) {
+    C.storeDirect(Value);
+  }
+
+  template <typename T> static const void *cellAddr(const Cell<T> &C) {
+    return &C.word();
+  }
+  template <typename T> static uint64_t cellRaw(const Cell<T> &C) {
+    return C.word().load(std::memory_order_relaxed);
+  }
+
+  /// Post-run residue probe (quiescent use only). A ByteLock entry is
+  /// residue-held when its Owner word or any reader byte survives; a
+  /// stripe word when its lock bit does.
+  template <typename T> static bool cellLocked(Stm &S, const Cell<T> &C) {
+    auto &Word = const_cast<Cell<T> &>(C).word();
+    if constexpr (std::is_same_v<typename Policy::Table, ByteLockTable>)
+      return S.table().lockFor(&Word).heldByAnyone();
+    else
+      return LockTable::decode(S.table().stripeFor(&Word).load(
+                                   std::memory_order_relaxed))
+          .Locked;
+  }
+};
+
+using OrecEagerBackend = EngineBackend<OrecEagerPolicy>;
+using TlrwBackend = EngineBackend<TlrwPolicy>;
+using TwoPlBackend = EngineBackend<TwoPlPolicy>;
 
 } // namespace gstm
 

@@ -26,7 +26,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
           --target tl2_test check_fuzz model_lifecycle_test minivector_test
-                   latency_histogram_test tmds_test
+                   latency_histogram_test tmds_test engine_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "asan sub-build compile failed (${BuildRc})")
@@ -46,11 +46,22 @@ endif()
 
 # --commit-order=both sweeps the single-fence and standard commit
 # publication orders, so the fence-path writeback is ASan-covered too.
+# The backend matrix includes the policy-templated engines, whose
+# in-place undo writes are a prime use-after-rollback candidate.
 execute_process(
   COMMAND ${BUILD_DIR}/tools/check_fuzz --iters=64 --commit-order=both
   RESULT_VARIABLE FuzzRc)
 if(NOT FuzzRc EQUAL 0)
   message(FATAL_ERROR "check_fuzz failed under asan (${FuzzRc})")
+endif()
+
+# Engine family unit+concurrency suite: ByteLock reader-byte indexing,
+# epoch slots, and the per-policy undo/lock-release paths.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/engine_test
+  RESULT_VARIABLE EngineRc)
+if(NOT EngineRc EQUAL 0)
+  message(FATAL_ERROR "engine_test failed under asan (${EngineRc})")
 endif()
 
 # Transaction-log containers: the grow/relocate/alias paths in

@@ -25,7 +25,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
           --target stats_test tl2_test minivector_test latency_histogram_test
-                   tmds_test
+                   tmds_test engine_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "tsan sub-build compile failed (${BuildRc})")
@@ -62,10 +62,21 @@ endif()
 # where an unsynchronized publish would hide.
 execute_process(
   COMMAND ${BUILD_DIR}/tests/tmds_test
-          --gtest_filter=TmdsTest.ConcurrentPartitionedMutationIsExact
+          --gtest_filter=TmdsTest/*.ConcurrentPartitionedMutationIsExact
   RESULT_VARIABLE TmdsRc)
 if(NOT TmdsRc EQUAL 0)
   message(FATAL_ERROR "tmds_test failed under tsan (${TmdsRc})")
+endif()
+
+# The engine family's racy-by-construction paths: TLRW's Dekker
+# reader/writer handshake and drain loop, orec CAS acquisition against
+# racing validators, 2PL's no-wait lock word traffic, and the epoch
+# manager's enter/exit vs quiesce protocol.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/engine_test
+  RESULT_VARIABLE EngineRc)
+if(NOT EngineRc EQUAL 0)
+  message(FATAL_ERROR "engine_test failed under tsan (${EngineRc})")
 endif()
 execute_process(
   COMMAND ${BUILD_DIR}/tests/latency_histogram_test

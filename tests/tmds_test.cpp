@@ -8,8 +8,9 @@
 // Covers the tmds containers (src/tmds): map semantics against a std::map
 // oracle, structural invariants via the direct validators, deterministic
 // skiplist tower heights, backend-genericity (the same template body runs
-// on TL2 lazy, TL2 eager, and LibTm), scan semantics, and concurrent
-// per-thread-partitioned mutation with exact final contents.
+// on TL2, LibTm, and the three policy-templated engines — orec-eager,
+// TLRW, 2PL-undo), scan semantics, and concurrent per-thread-partitioned
+// mutation with exact final contents.
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,9 +63,21 @@ using SkipTl2 = SkipListCase<Tl2Backend>;
 using SkipLibTm = SkipListCase<LibTmBackend>;
 using BTreeTl2 = BTreeCase<Tl2Backend>;
 using BTreeLibTm = BTreeCase<LibTmBackend>;
+// The policy-templated engines (src/engine) ride the same TmBackend
+// trait, so every structure test doubles as a backend-conformance check
+// for the whole family.
+using SkipOrec = SkipListCase<OrecEagerBackend>;
+using SkipTlrw = SkipListCase<TlrwBackend>;
+using SkipTwoPl = SkipListCase<TwoPlBackend>;
+using BTreeOrec = BTreeCase<OrecEagerBackend>;
+using BTreeTlrw = BTreeCase<TlrwBackend>;
+using BTreeTwoPl = BTreeCase<TwoPlBackend>;
 
 template <typename CaseT> class TmdsTest : public ::testing::Test {};
-using AllCases = ::testing::Types<SkipTl2, SkipLibTm, BTreeTl2, BTreeLibTm>;
+using AllCases =
+    ::testing::Types<SkipTl2, SkipLibTm, SkipOrec, SkipTlrw, SkipTwoPl,
+                     BTreeTl2, BTreeLibTm, BTreeOrec, BTreeTlrw,
+                     BTreeTwoPl>;
 TYPED_TEST_SUITE(TmdsTest, AllCases);
 
 //===----------------------------------------------------------------------===//

@@ -41,7 +41,8 @@ int main(int Argc, char **Argv) {
           {"seed-base", "S", "first seed of the range (default 1)"},
           {"seed", "S", "reproduce exactly one seed"},
           {"backend", "B",
-           "all, tl2-lazy, tl2-eager, libtm or ref (default all)"},
+           "all, tl2-lazy, tl2-eager, libtm, orec-eager, tlrw, 2pl-undo "
+           "or ref (default all)"},
           {"workload", "W",
            "rmw (flat read-modify-write vars), skiplist or btree "
            "(transactional map over src/tmds; default rmw)"},
@@ -59,9 +60,16 @@ int main(int Argc, char **Argv) {
            "with --smoke)"},
           {"verbose", "", "print every iteration, not just failures"},
           {"inject-skip-validation", "",
-           "fault injection: skip read validation (checkers must object)"},
+           "fault injection: skip read validation, TL2 + orec-eager "
+           "(checkers must object)"},
           {"inject-torn-publish", "",
            "fault injection: publish torn versions (checkers must object)"},
+          {"inject-skip-undo", "",
+           "fault injection: skip undo replay on abort, orec-eager + "
+           "2pl-undo (checkers must object)"},
+          {"inject-skip-drain", "",
+           "fault injection: skip the tlrw writer's reader-byte drain "
+           "(checkers must object)"},
       });
   Options Opts = Cli.parseOrExit(Argc, Argv);
 
@@ -88,13 +96,19 @@ int main(int Argc, char **Argv) {
   // (the mutation self-test in tests/check_test.cpp automates this).
   Cfg.Fault.SkipReadValidation = Opts.getBool("inject-skip-validation", false);
   Cfg.Fault.TornVersionPublish = Opts.getBool("inject-torn-publish", false);
+  // The engine-family knobs: skip-validation maps onto orec-eager's
+  // commit validation too; the other two target engine-specific safety
+  // mechanisms (undo replay, reader-byte drain).
+  Cfg.EngineFault.SkipReadValidation = Cfg.Fault.SkipReadValidation;
+  Cfg.EngineFault.SkipUndoReplay = Opts.getBool("inject-skip-undo", false);
+  Cfg.EngineFault.SkipReaderDrain = Opts.getBool("inject-skip-drain", false);
 
   FuzzBackend Only = FuzzBackend::Tl2Lazy;
   const bool All = BackendName == "all";
   if (!All && !fuzzBackendFromName(BackendName, Only)) {
     std::fprintf(stderr,
                  "check_fuzz: unknown --backend=%s (want all, tl2-lazy, "
-                 "tl2-eager, libtm or ref)\n",
+                 "tl2-eager, libtm, orec-eager, tlrw, 2pl-undo or ref)\n",
                  BackendName.c_str());
     return 2;
   }
@@ -113,7 +127,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   if (TmdsWorkload &&
-      (Cfg.Fault.SkipReadValidation || Cfg.Fault.TornVersionPublish)) {
+      (Cfg.Fault.SkipReadValidation || Cfg.Fault.TornVersionPublish ||
+       Cfg.EngineFault.SkipUndoReplay || Cfg.EngineFault.SkipReaderDrain)) {
     std::fprintf(stderr,
                  "check_fuzz: fault injection only applies to "
                  "--workload=rmw\n");
