@@ -56,6 +56,8 @@ struct alignas(128) ByteLock {
   static constexpr size_t MaxReaderSlots = 112;
 
   std::atomic<uint64_t> Owner{0};
+  // Readers validate against Version; writers republish it at commit.
+  // stm-order: pair(Version) acquire-load release-store
   std::atomic<uint64_t> Version{0};
   std::atomic<uint8_t> Readers[MaxReaderSlots] = {};
 

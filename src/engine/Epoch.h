@@ -94,7 +94,9 @@ private:
   };
 
   /// Starts at 1 so an active slot is never 0 (0 = quiescent).
+  // stm-order: pair(Global) acquire-load release-store
   std::atomic<uint64_t> Global{1};
+  // stm-order: pair(Slots) acquire-load release-store
   Slot Slots[MaxThreads];
 };
 

@@ -162,6 +162,7 @@ struct OrecEagerPolicy {
       // is unconditional here: the wv==rv+1 elision reasons about the
       // clock advance sitting between acquisition and validation, and
       // this ordering moves the advance after it.
+      // stm-order: fence(seq_cst) before(validate) label(OrecEagerPolicy::commit single-fence commit)
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (!Cfg.Fault.SkipReadValidation)
         validate(Tx);

@@ -108,6 +108,10 @@ struct TlrwPolicy {
     // Re-read under a byte we already hold: no writer can have drained
     // us, so the entry's version (validated <= rv at first touch) and
     // every word under it are stable.
+    // stm-lint: allow(O2) our held reader byte excludes writers, so this
+    // Version cannot change concurrently — the relaxed re-read observes
+    // the same value the first-touch acquire load already synchronized
+    // with, and the hot read path skips an unneeded acquire.
     uint64_t V = L.Version.load(std::memory_order_relaxed);
     uint64_t Value = Word.load(std::memory_order_relaxed);
     Tx.noteLoad(&Word, Value, V, /*Buffered=*/false);

@@ -125,6 +125,7 @@ void LibTxn::commitOrThrow(uint32_t PriorAborts) {
     // validation loads. Without it, store-buffering lets two cyclically
     // conflicting writers each miss the other's lock and both commit
     // (see the matching fence in Tl2Txn::commitOrThrow).
+    // stm-order: fence(seq_cst) before(validateReadSet) label(LibTxn::commitOrThrow single-fence commit)
     std::atomic_thread_fence(std::memory_order_seq_cst);
     validateReadSet(Self);
 

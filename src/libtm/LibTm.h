@@ -65,6 +65,9 @@ public:
   TObjBase &operator=(const TObjBase &) = delete;
   virtual ~TObjBase() = default;
 
+  // The single-fence commit path publishes the meta word with a relaxed
+  // store behind one release fence; see LibTxn::commitOrThrow.
+  // stm-order: publish(meta) requires release-fence-before
   std::atomic<uint64_t> &meta() { return Meta; }
   size_t numWords() const { return NumWords; }
 

@@ -8,6 +8,7 @@
 #include "lint/Lint.h"
 
 #include "lint/Lexer.h"
+#include "lint/OrderRules.h"
 #include "lint/Parser.h"
 #include "support/Json.h"
 
@@ -152,6 +153,10 @@ struct FileUnit {
   /// Token ranges of txn lambdas, excluded when scanning any enclosing
   /// range (they are their own regions).
   SkipRanges LambdaRanges;
+  /// This file's fence(seq_cst) contracts, bound during the order pass.
+  std::vector<FenceContract> Fences;
+  /// O1/O2/O3 violations found by the order pass, pre-suppression.
+  std::vector<RawViolation> OrderViolations;
 };
 
 /// A scanned body: a function (possibly transactional context) or a txn
@@ -166,6 +171,8 @@ struct ScannedBody {
   bool IsMethod = false;
   bool IsTxnContext = false; ///< reports diagnostics directly
   bool IsDriver = false;     ///< takes a handle but only calls .run() on it
+  /// Engine rule configuration for this body (from its handle type).
+  const RuleProfile *Profile = nullptr;
   uint32_t Line = 0;
   ScanResult Scan;
   /// R5 state (plain bodies only): why this body is transaction-unsafe.
@@ -201,6 +208,7 @@ public:
       parseFile(SF);
     scanBodies();
     propagateUnsafe();
+    orderPass();
     emitDiagnostics();
     finish();
     return std::move(Result);
@@ -230,8 +238,9 @@ private:
         B.ClassName = classOf(FD);
         B.IsMethod = FD.IsMethod;
         B.Line = FD.Line;
+        B.Profile = &profileForHandleType(FD.HandleType);
         B.Scan = scanRange(U.TS.Tokens, FD.BodyBegin, FD.BodyEnd,
-                           FD.Handle, U.LambdaRanges);
+                           FD.Handle, *B.Profile, U.LambdaRanges);
         if (FD.HasTxnParam) {
           B.IsDriver = callsRunOnHandle(B.Scan);
           B.IsTxnContext = !B.IsDriver;
@@ -250,8 +259,9 @@ private:
           B.Name = U.PF.Functions[L.EnclosingFunction].Name;
           B.ClassName = classOf(U.PF.Functions[L.EnclosingFunction]);
         }
+        B.Profile = &profileForHandleType(L.HandleType);
         B.Scan = scanRange(U.TS.Tokens, L.BodyBegin, L.BodyEnd, L.Handle,
-                           U.LambdaRanges);
+                           *B.Profile, U.LambdaRanges);
         B.IsTxnContext = !callsRunOnHandle(B.Scan);
         Bodies.push_back(std::move(B));
       }
@@ -364,6 +374,41 @@ private:
     return nullptr;
   }
 
+  /// Memory-ordering discipline (lint/OrderRules.h): contracts are
+  /// global across the file set (a publish() declared at the LockTable
+  /// covers the commit paths in Tl2.cpp and OrecEager.h); fence
+  /// contracts bind inside their own function body. Every function body
+  /// is walked — commit paths are plain methods, not transaction
+  /// regions — plus lambdas outside any function.
+  void orderPass() {
+    OrderContracts Contracts;
+    for (FileUnit &U : Units)
+      parseOrderContracts(U.TS, Contracts, U.Fences);
+    OrderStats OS;
+    for (FileUnit &U : Units) {
+      Result.Stats.OrderContracts += U.Fences.size();
+      for (const FunctionDef &FD : U.PF.Functions)
+        checkOrder(U.TS.Tokens, FD.BodyBegin, FD.BodyEnd, Contracts,
+                   U.Fences, OS, U.OrderViolations);
+      for (const TxnLambda &L : U.PF.TxnLambdas)
+        if (L.EnclosingFunction == SIZE_MAX)
+          checkOrder(U.TS.Tokens, L.BodyBegin, L.BodyEnd, Contracts,
+                     U.Fences, OS, U.OrderViolations);
+      for (const FenceContract &FC : U.Fences)
+        if (!FC.Bound)
+          U.OrderViolations.push_back(
+              {Rule::FenceContract, FC.Line,
+               "stm-order fence contract '" + FC.Label +
+                   "' binds no call to '" + FC.Callee +
+                   "' in its function — the annotation drifted from "
+                   "the code"});
+    }
+    Result.Stats.OrderContracts +=
+        Contracts.Publish.size() + Contracts.Pair.size();
+    Result.Stats.AtomicOps = OS.AtomicOps;
+    Result.Stats.Fences = OS.Fences;
+  }
+
   void emitDiagnostics() {
     for (const ScannedBody &B : Bodies) {
       if (!B.IsTxnContext)
@@ -375,6 +420,8 @@ private:
           continue;
         Result.Diags.push_back({Path, V.Line, V.R, V.Message});
       }
+      if (!B.Profile->CheckCallees)
+        continue;
       for (const CallSite &C : B.Scan.Calls) {
         const ScannedBody *Callee = resolveUnsafe(C, B.ClassName);
         if (!Callee)
@@ -388,6 +435,14 @@ private:
                  "]: " + Callee->UnsafeWhy});
       }
     }
+    // O1/O2/O3: per-file order-pass violations (not tied to regions).
+    for (size_t F = 0; F < Units.size(); ++F)
+      for (const RawViolation &V : Units[F].OrderViolations) {
+        if (isSuppressed(F, V.Line, V.R, /*Count=*/true))
+          continue;
+        Result.Diags.push_back(
+            {Units[F].Src->Path, V.Line, V.R, V.Message});
+      }
     // S1: every suppression must carry a rationale.
     for (size_t F = 0; F < Units.size(); ++F)
       for (const Suppression &S : Units[F].Sups)
@@ -526,8 +581,12 @@ std::string gstm::lint::toText(const LintResult &R) {
         << D.Message << "\n  hint: " << ruleHint(D.R) << "\n";
   Out << "stm_lint: " << R.Stats.Files << " file(s), "
       << R.Stats.Functions << " function(s), " << R.Stats.Regions
-      << " transaction region(s): " << R.Diags.size()
-      << " diagnostic(s), " << R.Stats.Suppressed << " suppressed\n";
+      << " transaction region(s), " << R.Stats.AtomicOps
+      << " atomic op(s), " << R.Stats.Fences << " fence(s), "
+      << R.Stats.OrderContracts << " order contract(s): "
+      << R.Diags.size() << " diagnostic(s), " << R.Stats.Suppressed
+      << " suppressed, " << R.Stats.BaselineWaived
+      << " baseline-waived\n";
   return Out.str();
 }
 
@@ -540,6 +599,12 @@ std::string gstm::lint::toJson(const LintResult &R) {
   W.key("functions").value(static_cast<uint64_t>(R.Stats.Functions));
   W.key("regions").value(static_cast<uint64_t>(R.Stats.Regions));
   W.key("suppressed").value(static_cast<uint64_t>(R.Stats.Suppressed));
+  W.key("atomic_ops").value(static_cast<uint64_t>(R.Stats.AtomicOps));
+  W.key("fences").value(static_cast<uint64_t>(R.Stats.Fences));
+  W.key("order_contracts")
+      .value(static_cast<uint64_t>(R.Stats.OrderContracts));
+  W.key("baseline_waived")
+      .value(static_cast<uint64_t>(R.Stats.BaselineWaived));
   W.key("diagnostics").beginArray();
   for (const Diag &D : R.Diags) {
     W.beginObject();
@@ -553,6 +618,137 @@ std::string gstm::lint::toJson(const LintResult &R) {
   W.endArray();
   W.endObject();
   return W.take();
+}
+
+std::string gstm::lint::toSarif(const LintResult &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("$schema").value(
+      "https://json.schemastore.org/sarif-2.1.0.json");
+  W.key("version").value("2.1.0");
+  W.key("runs").beginArray();
+  W.beginObject();
+  W.key("tool").beginObject();
+  W.key("driver").beginObject();
+  W.key("name").value("stm_lint");
+  W.key("informationUri")
+      .value("https://github.com/gstm/gstm/blob/main/DESIGN.md");
+  W.key("rules").beginArray();
+  for (size_t I = 0; I < NumRules; ++I) {
+    Rule Ru = static_cast<Rule>(I);
+    W.beginObject();
+    W.key("id").value(ruleId(Ru));
+    W.key("shortDescription").beginObject();
+    W.key("text").value(ruleHint(Ru));
+    W.endObject();
+    W.key("defaultConfiguration").beginObject();
+    W.key("level").value("error");
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray(); // rules
+  W.endObject(); // driver
+  W.endObject(); // tool
+  W.key("results").beginArray();
+  for (const Diag &D : R.Diags) {
+    W.beginObject();
+    W.key("ruleId").value(ruleId(D.R));
+    W.key("ruleIndex").value(static_cast<uint64_t>(D.R));
+    W.key("level").value("error");
+    W.key("message").beginObject();
+    W.key("text").value(D.Message);
+    W.endObject();
+    W.key("locations").beginArray();
+    W.beginObject();
+    W.key("physicalLocation").beginObject();
+    W.key("artifactLocation").beginObject();
+    W.key("uri").value(D.File);
+    W.endObject();
+    W.key("region").beginObject();
+    W.key("startLine").value(static_cast<uint64_t>(D.Line));
+    W.endObject();
+    W.endObject(); // physicalLocation
+    W.endObject();
+    W.endArray(); // locations
+    W.endObject();
+  }
+  W.endArray(); // results
+  W.endObject(); // run
+  W.endArray(); // runs
+  W.endObject();
+  return W.take();
+}
+
+//===----------------------------------------------------------------------===//
+// Baseline
+//===----------------------------------------------------------------------===//
+
+Baseline gstm::lint::parseBaseline(std::string_view Text) {
+  Baseline B;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string_view::npos)
+      Eol = Text.size();
+    std::string_view Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (!Line.empty() && Line.back() == '\r')
+      Line.remove_suffix(1);
+    if (Line.empty() || Line.front() == '#')
+      continue;
+    size_t Tab1 = Line.find('\t');
+    if (Tab1 == std::string_view::npos)
+      continue;
+    size_t Tab2 = Line.find('\t', Tab1 + 1);
+    if (Tab2 == std::string_view::npos)
+      continue;
+    BaselineEntry E;
+    E.RuleId = std::string(Line.substr(0, Tab1));
+    E.File = std::string(Line.substr(Tab1 + 1, Tab2 - Tab1 - 1));
+    E.Message = std::string(Line.substr(Tab2 + 1));
+    B.Entries.push_back(std::move(E));
+  }
+  return B;
+}
+
+std::string gstm::lint::baselineText(const LintResult &R) {
+  std::ostringstream Out;
+  Out << "# stm_lint baseline — accepted legacy findings.\n"
+      << "# One tab-separated entry per line: ruleId\tfile\tmessage.\n"
+      << "# Line numbers are deliberately omitted so unrelated edits do\n"
+      << "# not resurrect a waived finding. Each entry waives at most one\n"
+      << "# diagnostic; remove entries as the findings are fixed.\n";
+  for (const Diag &D : R.Diags)
+    Out << ruleId(D.R) << "\t" << D.File << "\t" << D.Message << "\n";
+  return Out.str();
+}
+
+void gstm::lint::applyBaseline(LintResult &R, const Baseline &B,
+                               std::vector<BaselineEntry> &Stale) {
+  std::vector<bool> Waived(R.Diags.size(), false);
+  for (const BaselineEntry &E : B.Entries) {
+    bool Matched = false;
+    for (size_t I = 0; I < R.Diags.size(); ++I) {
+      const Diag &D = R.Diags[I];
+      if (!Waived[I] && E.RuleId == ruleId(D.R) && E.File == D.File &&
+          E.Message == D.Message) {
+        Waived[I] = true;
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched)
+      Stale.push_back(E);
+  }
+  std::vector<Diag> Kept;
+  Kept.reserve(R.Diags.size());
+  for (size_t I = 0; I < R.Diags.size(); ++I) {
+    if (Waived[I])
+      ++R.Stats.BaselineWaived;
+    else
+      Kept.push_back(std::move(R.Diags[I]));
+  }
+  R.Diags = std::move(Kept);
 }
 
 //===----------------------------------------------------------------------===//

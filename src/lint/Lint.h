@@ -16,12 +16,17 @@
 ///   3. propagate "transaction-unsafe" over the call graph to a fixpoint,
 ///      so a body calling a helper that (transitively) allocates or does
 ///      I/O is flagged at the call site (R5);
-///   4. apply `// stm-lint: allow(<rule>) <reason>` suppressions (same
+///   4. run the memory-ordering discipline pass (lint/OrderRules.h) over
+///      every function body against the file set's `stm-order:`
+///      contracts (O1–O3);
+///   5. apply `// stm-lint: allow(<rule>) <reason>` suppressions (same
 ///      line, or a comment block directly above the flagged line — the
 ///      rationale may wrap; a missing reason is itself S1).
 ///
 /// Also implements the fixture self-check mode: `// expect-diag(<rule>)`
-/// annotations must match produced diagnostics exactly, line by line.
+/// annotations must match produced diagnostics exactly, line by line —
+/// plus SARIF 2.1 rendering and the CI baseline (known findings are
+/// waived by (rule, file, message) so new findings still fail).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -53,8 +58,12 @@ struct Diag {
 struct LintStats {
   size_t Files = 0;
   size_t Functions = 0;
-  size_t Regions = 0;     ///< transaction bodies analyzed
-  size_t Suppressed = 0;  ///< diagnostics silenced by allow() comments
+  size_t Regions = 0;        ///< transaction bodies analyzed
+  size_t Suppressed = 0;     ///< diagnostics silenced by allow() comments
+  size_t AtomicOps = 0;      ///< atomic loads/stores/RMWs inventoried
+  size_t Fences = 0;         ///< atomic_thread_fence calls inventoried
+  size_t OrderContracts = 0; ///< stm-order contracts parsed
+  size_t BaselineWaived = 0; ///< diagnostics matched by the baseline
 };
 
 struct LintResult {
@@ -81,6 +90,37 @@ std::string toText(const LintResult &R);
 
 /// Renders the result as a JSON document (support/Json.h writer).
 std::string toJson(const LintResult &R);
+
+/// Renders the result as a SARIF 2.1.0 log (one run, full rule table,
+/// one result per diagnostic) for CI upload.
+std::string toSarif(const LintResult &R);
+
+/// One accepted legacy finding. Baselines match by (rule, file, message)
+/// and deliberately ignore line numbers, so unrelated edits shifting a
+/// waived finding do not resurrect it.
+struct BaselineEntry {
+  std::string RuleId;
+  std::string File;
+  std::string Message;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> Entries;
+};
+
+/// Parses the tab-separated baseline format written by baselineText().
+/// Unparseable lines are ignored (comments start with '#').
+Baseline parseBaseline(std::string_view Text);
+
+/// Serializes the result's diagnostics as a baseline file.
+std::string baselineText(const LintResult &R);
+
+/// Removes from \p R every diagnostic matched by \p B (each entry waives
+/// at most one diagnostic), counting them in Stats.BaselineWaived.
+/// Entries that matched nothing — stale waivers — are appended to
+/// \p Stale.
+void applyBaseline(LintResult &R, const Baseline &B,
+                   std::vector<BaselineEntry> &Stale);
 
 /// Fixture self-check: every `// expect-diag(<rule>)` annotation in
 /// \p Files must be matched by a diagnostic on the same line, and every

@@ -7,6 +7,7 @@
 
 #include "lint/Parser.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 using namespace gstm;
@@ -69,10 +70,24 @@ struct ParamScan {
   size_t RParen = 0;
   bool HasTxnParam = false;
   std::string_view Handle;
+  std::string_view HandleType;
 };
 
+/// Names of the declaration's own template parameters that are accepted
+/// as handle types in its parameter list (the `template <typename TxnT>
+/// static void store(TxnT &Tx, ...)` policy statics in src/engine).
+using TemplateHandleTypes = std::vector<std::string_view>;
+
 /// Scans a parameter list starting at the '(' token \p LParen.
-ParamScan scanParams(const std::vector<Token> &T, size_t LParen) {
+ParamScan scanParams(const std::vector<Token> &T, size_t LParen,
+                     const TemplateHandleTypes *TemplateHandles = nullptr) {
+  auto IsHandleType = [&](std::string_view Name) {
+    if (isTxnHandleType(Name))
+      return true;
+    return TemplateHandles &&
+           std::find(TemplateHandles->begin(), TemplateHandles->end(),
+                     Name) != TemplateHandles->end();
+  };
   ParamScan PS;
   PS.RParen = matchForward(T, LParen);
   size_t ParamBegin = LParen + 1;
@@ -91,7 +106,7 @@ ParamScan scanParams(const std::vector<Token> &T, size_t LParen) {
     for (size_t J = ParamBegin; J < I; ++J) {
       if (T[J].is(Token::Kind::Identifier)) {
         LastIdent = T[J].Text;
-        if (isTxnHandleType(T[J].Text)) {
+        if (IsHandleType(T[J].Text)) {
           IsTxnType = true;
           TypeName = T[J].Text;
         }
@@ -103,6 +118,7 @@ ParamScan scanParams(const std::vector<Token> &T, size_t LParen) {
         LastIdent != TypeName && !PS.HasTxnParam) {
       PS.HasTxnParam = true;
       PS.Handle = LastIdent;
+      PS.HandleType = TypeName;
     }
     ParamBegin = I + 1;
   }
@@ -194,12 +210,68 @@ private:
       StmtStart = I + 1;
   }
 
+  /// Collects the declaration's own template-parameter names that should
+  /// be accepted as handle types: `typename`/`class` introducers (plain,
+  /// defaulted, or template-template) whose name contains "Txn". The
+  /// src/engine policy statics all spell their handle parameter
+  /// `template <typename TxnT> static ... f(TxnT &Tx, ...)`.
+  void collectTemplateHandles(size_t Open, size_t Close,
+                              TemplateHandleTypes &Out) const {
+    for (size_t J = Open + 1; J < Close && J < T.size(); ++J) {
+      if (!(tok(T, J).isIdent("typename") || tok(T, J).isIdent("class")))
+        continue;
+      const Token &Name = tok(T, J + 1);
+      if (Name.is(Token::Kind::Identifier) &&
+          Name.Text.find("Txn") != std::string_view::npos)
+        Out.push_back(Name.Text);
+    }
+  }
+
+  /// Skips a leading requires-clause (`requires C1<T> && (C2<T> || ...)`)
+  /// between the template group and the declaration head, so constrained
+  /// members do not degrade into opaque blocks. Requires-expressions
+  /// (`requires requires { ... }`) are out of scope for the structural
+  /// pass; the loop bails before swallowing a brace.
+  size_t skipRequiresClause(size_t I) const {
+    for (;;) {
+      bool Consumed = false;
+      if (tok(T, I).isPunct("(")) {
+        I = matchForward(T, I) + 1;
+        Consumed = true;
+      } else {
+        while (tok(T, I).is(Token::Kind::Identifier) ||
+               tok(T, I).isPunct("::") || tok(T, I).isPunct("!")) {
+          if (tok(T, I).isIdent("requires"))
+            return I; // nested requires-expression: stop before it
+          ++I;
+          Consumed = true;
+        }
+        if (Consumed && tok(T, I).isPunct("<"))
+          I = matchAngles(T, I) + 1;
+      }
+      if (!Consumed)
+        return I;
+      if (tok(T, I).isPunct("&&") || tok(T, I).isPunct("||")) {
+        ++I;
+        continue;
+      }
+      return I;
+    }
+  }
+
   /// Classifies a '{' seen at namespace/class scope using the declaration
   /// head tokens [StmtStart, BraceIdx).
   void openDeclBrace(size_t &BraceIdx) {
     size_t Head = StmtStart;
-    if (tok(T, Head).isIdent("template") && tok(T, Head + 1).isPunct("<"))
-      Head = matchAngles(T, Head + 1) + 1;
+    TemplateHandleTypes TemplateHandles;
+    while (tok(T, Head).isIdent("template") &&
+           tok(T, Head + 1).isPunct("<")) {
+      size_t Close = matchAngles(T, Head + 1);
+      collectTemplateHandles(Head + 1, Close, TemplateHandles);
+      Head = Close + 1;
+    }
+    if (tok(T, Head).isIdent("requires"))
+      Head = skipRequiresClause(Head + 1);
 
     // enum first: "enum class" must not be classified as a class.
     for (size_t J = Head; J < BraceIdx; ++J) {
@@ -225,7 +297,7 @@ private:
         return;
       }
       if (tok(T, J).isPunct("(")) {
-        openFunctionOrBlock(J, BraceIdx);
+        openFunctionOrBlock(J, BraceIdx, TemplateHandles);
         return;
       }
     }
@@ -236,7 +308,8 @@ private:
   /// definition whose body starts at \p BraceIdx, a constructor whose
   /// member-init braces precede the body, or something we treat as an
   /// opaque block.
-  void openFunctionOrBlock(size_t FirstLParen, size_t &BraceIdx) {
+  void openFunctionOrBlock(size_t FirstLParen, size_t &BraceIdx,
+                           const TemplateHandleTypes &TemplateHandles) {
     size_t LParen = FirstLParen;
     // operator(): the parameter list is the second '(' group.
     if (LParen >= 1 && tok(T, LParen - 1).isIdent("operator") &&
@@ -297,9 +370,10 @@ private:
       FD.Qualified = Qual;
     }
 
-    ParamScan PS = scanParams(T, LParen);
+    ParamScan PS = scanParams(T, LParen, &TemplateHandles);
     FD.HasTxnParam = PS.HasTxnParam;
     FD.Handle = PS.Handle;
+    FD.HandleType = PS.HandleType;
     FD.BodyBegin = BraceIdx + 1;
     FD.BodyEnd = BraceIdx + 1; // fixed at closing brace
     Out.Functions.push_back(FD);
@@ -346,6 +420,7 @@ private:
 
     TxnLambda L;
     L.Handle = PS.Handle;
+    L.HandleType = PS.HandleType;
     L.Line = T[LBracket].Line;
     L.BodyBegin = B + 1;
     L.BodyEnd = B + 1; // fixed at closing brace

@@ -44,6 +44,10 @@ struct FunctionDef {
                             ///< out-of-class with a Class:: qualifier
   bool HasTxnParam = false; ///< takes a Tl2Txn&/LibTxn& style parameter
   std::string_view Handle;  ///< the handle parameter's name, if any
+  /// The handle parameter's type name ("Tl2Txn", "TlrwTxn", ...; a
+  /// template-parameter name like "TxnT" for the policy statics).
+  /// Selects the engine rule profile (lint/Rules.h).
+  std::string_view HandleType;
   uint32_t Line = 0;        ///< line of the function name
   size_t BodyBegin = 0;
   size_t BodyEnd = 0;
@@ -52,6 +56,7 @@ struct FunctionDef {
 /// One lambda with a transactional-handle parameter (a transaction body).
 struct TxnLambda {
   std::string_view Handle;
+  std::string_view HandleType;
   uint32_t Line = 0; ///< line of the '[' introducer
   size_t BodyBegin = 0;
   size_t BodyEnd = 0;
@@ -68,7 +73,10 @@ struct ParsedFile {
   std::vector<TxnLambda> TxnLambdas;
 };
 
-/// Names accepted as transactional-handle types.
+/// Names accepted as transactional-handle types. Template-parameter
+/// names containing "Txn" (the `template <typename TxnT> static` policy
+/// statics in src/engine) are additionally accepted per declaration; see
+/// the parser's template-group scan.
 bool isTxnHandleType(std::string_view TypeName);
 
 /// Runs the structural pass over \p TS.

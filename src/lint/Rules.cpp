@@ -25,8 +25,16 @@ const char *gstm::lint::ruleId(Rule R) {
     return "R4";
   case Rule::UnsafeCallee:
     return "R5";
+  case Rule::UpgradeHazard:
+    return "R6";
   case Rule::BadSuppression:
     return "S1";
+  case Rule::TornPublish:
+    return "O1";
+  case Rule::AcquireRelease:
+    return "O2";
+  case Rule::FenceContract:
+    return "O3";
   }
   return "?";
 }
@@ -47,22 +55,78 @@ const char *gstm::lint::ruleHint(Rule R) {
   case Rule::UnsafeCallee:
     return "make the callee transaction-safe, or pass the txn handle so "
            "it is checked as transactional context";
+  case Rule::UpgradeHazard:
+    return "write the location before reading it back, or run the body "
+           "on an engine whose reads already take exclusive locks "
+           "(2pl-undo)";
   case Rule::BadSuppression:
     return "write `// stm-lint: allow(<rule>) <why this is safe>`";
+  case Rule::TornPublish:
+    return "store with memory_order_release, or keep a release fence "
+           "between the data writes and this publish";
+  case Rule::AcquireRelease:
+    return "use load(acquire)/store(release) on this variable, per its "
+           "declared pair() contract";
+  case Rule::FenceContract:
+    return "restore the std::atomic_thread_fence(std::memory_order_"
+           "seq_cst) the contract requires before its anchor call";
   }
   return "";
 }
 
 bool gstm::lint::ruleFromId(std::string_view Id, Rule &Out) {
-  for (Rule R : {Rule::NakedAccess, Rule::Irrevocable, Rule::NonDeterminism,
-                 Rule::HandleEscape, Rule::UnsafeCallee,
-                 Rule::BadSuppression}) {
+  for (Rule R :
+       {Rule::NakedAccess, Rule::Irrevocable, Rule::NonDeterminism,
+        Rule::HandleEscape, Rule::UnsafeCallee, Rule::UpgradeHazard,
+        Rule::BadSuppression, Rule::TornPublish, Rule::AcquireRelease,
+        Rule::FenceContract}) {
     if (Id == ruleId(R)) {
       Out = R;
       return true;
     }
   }
   return false;
+}
+
+const RuleProfile &
+gstm::lint::profileForHandleType(std::string_view HandleType) {
+  // Lazy TL2-lineage engines: writes buffer until commit, so a user
+  // exception unwinds with no shared state touched, and reads take no
+  // visible locks.
+  static const RuleProfile Generic{"generic", true, true, false, false};
+  static const RuleProfile Tl2{"tl2", true, true, false, false};
+  static const RuleProfile LibTm{"libtm", true, true, false, false};
+  // In-place engines (src/engine): encounter-time writes + undo log. The
+  // executor catches only TxAbortException, so R2 additionally forbids
+  // user throws (the undo log would never replay).
+  static const RuleProfile OrecEager{"orec-eager", true, true, false, true};
+  static const RuleProfile TwoPl{"2pl-undo", true, true, false, true};
+  // TLRW's visible reader bytes make read→write upgrades an abort-storm
+  // hazard (two readers of the same entry can never both upgrade): R6.
+  static const RuleProfile Tlrw{"tlrw", true, true, true, true};
+  // Policy statics taking a template-parameter handle (`TxnT &Tx`): the
+  // body *is* the engine. Raw atomics and runtime-machinery calls are
+  // the point (the ordering pass owns their discipline), but R2/R3/R4
+  // still apply — engines must not allocate, block, or stash handles.
+  static const RuleProfile EngineInternal{"engine-internal", false, false,
+                                          false, false};
+
+  if (HandleType == "Tl2Txn")
+    return Tl2;
+  if (HandleType == "LibTxn" || HandleType == "LibTmTxn")
+    return LibTm;
+  if (HandleType == "OrecEagerTxn")
+    return OrecEager;
+  if (HandleType == "TlrwTxn")
+    return Tlrw;
+  if (HandleType == "TwoPlTxn")
+    return TwoPl;
+  if (HandleType == "Txn" || HandleType == "EngineTxn" ||
+      HandleType.empty())
+    return Generic;
+  // Any other accepted handle type came from a template parameter list
+  // (Parser.cpp collects `typename TxnT`-style names containing "Txn").
+  return EngineInternal;
 }
 
 namespace {
@@ -81,6 +145,15 @@ bool isAtomicAccessMethod(std::string_view N) {
                    "test_and_set", "loadDirect", "storeDirect", "loadWord",
                    "storeWord", "read", "write"},
                   N);
+}
+
+/// R6: handle methods that read a location (and, on visible-reader
+/// engines, leave a shared lock behind) vs. methods that write one.
+bool isHandleReadMethod(std::string_view N) {
+  return contains({"load", "read", "loadWord"}, N);
+}
+bool isHandleWriteMethod(std::string_view N) {
+  return contains({"store", "write", "storeWord"}, N);
 }
 
 /// R2: allocation / I/O / process-control calls that cannot be rolled
@@ -146,11 +219,17 @@ bool isStdQualifier(std::string_view N) {
                   N);
 }
 
+/// Scans one body as a sequence of statements: tracks handle aliases
+/// declared earlier in the body, the locations the handle has read
+/// (for R6), and applies the token-level checks for R1–R4 and R6 under
+/// the body's engine profile.
 class RangeScanner {
 public:
   RangeScanner(const std::vector<Token> &T, size_t Begin, size_t End,
-               std::string_view Handle, const SkipRanges &Skip)
-      : T(T), Begin(Begin), End(End), Handle(Handle), Skip(Skip) {}
+               std::string_view Handle, const RuleProfile &Profile,
+               const SkipRanges &Skip)
+      : T(T), Begin(Begin), End(End), Handle(Handle), Profile(Profile),
+        Skip(Skip) {}
 
   ScanResult run() {
     for (size_t I = Begin; I < End && I < T.size(); ++I) {
@@ -181,8 +260,31 @@ private:
     Out.Violations.push_back({R, Line, std::move(Msg)});
   }
 
+  /// The handle itself, or any reference alias bound to it earlier in
+  /// the body (`auto &H2 = Tx;`).
   bool isHandle(std::string_view Name) const {
-    return !Handle.empty() && Name == Handle;
+    if (Handle.empty())
+      return false;
+    if (Name == Handle)
+      return true;
+    return std::find(Aliases.begin(), Aliases.end(), Name) !=
+           Aliases.end();
+  }
+
+  /// Dataflow step: `<type> & X = <handle-or-alias> ;` binds X as a new
+  /// name for the handle. Everything downstream (R1 sanctioning, R4
+  /// escape checks, handle-passing) then treats X like the handle.
+  bool maybeRecordAlias(size_t I) {
+    if (Handle.empty())
+      return false;
+    const Token &Prev = I > Begin ? at(I - 1) : Token{};
+    if (!Prev.isPunct("&") || !at(I + 1).isPunct("="))
+      return false;
+    if (!at(I + 2).is(Token::Kind::Identifier) ||
+        !isHandle(at(I + 2).Text) || !at(I + 3).isPunct(";"))
+      return false;
+    Aliases.push_back(T[I].Text);
+    return true;
   }
 
   void scanToken(size_t I) {
@@ -201,6 +303,9 @@ private:
     const Token &Prev = I > Begin ? at(I - 1) : Token{};
     const Token &Next = at(I + 1);
 
+    if (maybeRecordAlias(I))
+      return;
+
     // R2: keyword-form allocation. Placement syntax (`new (addr) T`,
     // recognized by the `(` right after the keyword) constructs into
     // storage the caller already owns — no allocation to leak on abort —
@@ -218,6 +323,22 @@ private:
       report(Rule::Irrevocable, Tk.Line,
              "heap deallocation ('delete') inside transaction body; a "
              "concurrent speculative reader may still dereference it");
+      return;
+    }
+    // Strict R2 for in-place undo-log engines: the retry loop catches
+    // only TxAbortException, so a user exception unwinds past the undo
+    // replay with encounter-time writes still applied (and locks held).
+    // The bare rethrow form `throw;` only appears inside catch blocks
+    // re-raising what was already in flight; only `throw <expr>` is the
+    // hazard introduced by the body.
+    if (N == "throw" && Profile.InPlaceUndo && !Next.isPunct(";") &&
+        !Prev.isIdent("operator")) {
+      report(Rule::Irrevocable, Tk.Line,
+             std::string("'throw' inside an in-place-update transaction "
+                         "('") +
+                 Profile.Name +
+                 "'): the retry loop catches only TxAbortException, so "
+                 "unwinding leaves undo-logged writes applied");
       return;
     }
     // R2: stream objects (operator<< chains start at the stream name).
@@ -253,7 +374,9 @@ private:
       Receiver = at(I - 2).Text;
 
     if (isAtomicAccessMethod(N) && Method) {
-      if (!isHandle(Receiver)) {
+      if (isHandle(Receiver)) {
+        checkUpgradeHazard(I, N);
+      } else if (Profile.CheckNakedAccess) {
         std::string Recv =
             Receiver.empty() ? std::string("<expr>") : std::string(Receiver);
         report(Rule::NakedAccess, Tk.Line,
@@ -300,6 +423,61 @@ private:
     recordCallSite(I, N, Method, Receiver);
   }
 
+  /// First argument of the call whose '(' is at \p LParen, normalized to
+  /// the concatenation of its token texts (so `Arr [ i ]` and `Arr[i]`
+  /// compare equal regardless of spacing).
+  std::string firstArgKey(size_t LParen) const {
+    std::string Key;
+    int Depth = 0;
+    for (size_t J = LParen; J < End && J < T.size(); ++J) {
+      if (at(J).isPunct("(") || at(J).isPunct("[") || at(J).isPunct("{")) {
+        if (++Depth == 1)
+          continue;
+      } else if (at(J).isPunct(")") || at(J).isPunct("]") ||
+                 at(J).isPunct("}")) {
+        if (--Depth == 0)
+          break;
+      } else if (Depth == 1 && at(J).isPunct(",")) {
+        break;
+      }
+      if (Depth >= 1)
+        Key += at(J).Text;
+    }
+    return Key;
+  }
+
+  /// R6: on visible-reader engines, a handle write to a location the
+  /// body has already read through the handle upgrades the read lock
+  /// the read left behind — two transactions doing the same thing can
+  /// never both upgrade, so the pattern degenerates into abort storms.
+  /// Reads are tracked in statement order; a nested
+  /// `Tx.store(X, Tx.load(X) + 1)` is a single expression whose store
+  /// token precedes its load and is deliberately not flagged.
+  void checkUpgradeHazard(size_t I, std::string_view N) {
+    if (isHandleReadMethod(N)) {
+      std::string Key = firstArgKey(I + 1);
+      if (!Key.empty() &&
+          std::none_of(ReadLocs.begin(), ReadLocs.end(),
+                       [&](const auto &P) { return P.first == Key; }))
+        ReadLocs.emplace_back(std::move(Key), T[I].Line);
+      return;
+    }
+    if (!Profile.UpgradeHazard || !isHandleWriteMethod(N))
+      return;
+    std::string Key = firstArgKey(I + 1);
+    for (const auto &[Loc, Line] : ReadLocs) {
+      if (Loc != Key)
+        continue;
+      report(Rule::UpgradeHazard, T[I].Line,
+             "write to '" + Key + "' upgrades the shared read lock " +
+                 "taken by the read at line " + std::to_string(Line) +
+                 " ('" + Profile.Name +
+                 "' takes visible reader locks; concurrent upgraders "
+                 "abort-storm)");
+      return;
+    }
+  }
+
   void recordCallSite(size_t I, std::string_view N, bool Method,
                       std::string_view Receiver) {
     if (isNonCallKeyword(N))
@@ -324,8 +502,8 @@ private:
     Out.Calls.push_back(C);
   }
 
-  /// True when the transaction handle appears at any depth inside the
-  /// call's argument list starting at the '(' token \p LParen.
+  /// True when the transaction handle (or an alias) appears at any depth
+  /// inside the call's argument list starting at the '(' token \p LParen.
   bool handleInArgs(size_t LParen) const {
     if (Handle.empty())
       return false;
@@ -336,25 +514,29 @@ private:
       else if (at(J).isPunct(")")) {
         if (--Depth == 0)
           return false;
-      } else if (at(J).isIdent(Handle))
+      } else if (at(J).is(Token::Kind::Identifier) && isHandle(at(J).Text))
         return true;
     }
     return false;
   }
 
-  /// R4 part 1: taking the handle's address in expression position.
+  /// R4 part 1: taking the handle's (or an alias's) address in
+  /// expression position.
   void checkAddressOfHandle(size_t I) {
-    if (Handle.empty() || !at(I + 1).isIdent(Handle))
+    if (Handle.empty() || !at(I + 1).is(Token::Kind::Identifier) ||
+        !isHandle(at(I + 1).Text))
       return;
     const Token &Prev = I > Begin ? at(I - 1) : Token{};
     if (Prev.isPunct("=") || Prev.isPunct("(") || Prev.isPunct(",") ||
         Prev.isPunct("{") || Prev.isIdent("return"))
       report(Rule::HandleEscape, T[I].Line,
-             "address of transaction handle '&" + std::string(Handle) +
+             "address of transaction handle '&" +
+                 std::string(at(I + 1).Text) +
                  "' escapes the transaction body");
   }
 
-  /// R4 part 2: the handle named in a nested lambda's capture list.
+  /// R4 part 2: the handle (or an alias) named in a nested lambda's
+  /// capture list.
   void checkLambdaCapture(size_t I) {
     if (Handle.empty())
       return;
@@ -374,9 +556,9 @@ private:
         !(at(Close + 1).isPunct("(") || at(Close + 1).isPunct("{")))
       return;
     for (size_t J = I + 1; J < Close; ++J)
-      if (at(J).isIdent(Handle)) {
+      if (at(J).is(Token::Kind::Identifier) && isHandle(at(J).Text)) {
         report(Rule::HandleEscape, at(J).Line,
-               "transaction handle '" + std::string(Handle) +
+               "transaction handle '" + std::string(at(J).Text) +
                    "' captured by a nested lambda; the lambda may outlive "
                    "the transaction body");
         return;
@@ -386,7 +568,12 @@ private:
   const std::vector<Token> &T;
   size_t Begin, End;
   std::string_view Handle;
+  const RuleProfile &Profile;
   const SkipRanges &Skip;
+  /// Reference aliases of the handle, in declaration order.
+  std::vector<std::string_view> Aliases;
+  /// Locations read through the handle: (normalized first-arg, line).
+  std::vector<std::pair<std::string, uint32_t>> ReadLocs;
   ScanResult Out;
 };
 
@@ -395,6 +582,7 @@ private:
 ScanResult gstm::lint::scanRange(const std::vector<Token> &Tokens,
                                  size_t Begin, size_t End,
                                  std::string_view Handle,
+                                 const RuleProfile &Profile,
                                  const SkipRanges &Skip) {
-  return RangeScanner(Tokens, Begin, End, Handle, Skip).run();
+  return RangeScanner(Tokens, Begin, End, Handle, Profile, Skip).run();
 }

@@ -17,14 +17,36 @@
 ///                              re-execute, so results diverge and TSA
 ///                              replay breaks
 ///   R4 handle escape         — storing/capturing the Tl2Txn&/LibTxn&
-///                              beyond the transaction body
+///                              beyond the transaction body (directly or
+///                              through a tracked `auto &Alias = Tx;`)
 ///   R5 unsafe callee         — calling a function that (transitively)
 ///                              trips R1–R4, without passing the handle
+///   R6 upgrade hazard        — writing a location the body already read
+///                              through the handle, on engines where the
+///                              read took a shared lock that the write
+///                              must upgrade (visible-reader TLRW)
 ///   S1 bad suppression       — `// stm-lint: allow(...)` without a
 ///                              rationale
 ///
-/// scanRange() performs the token-level detection of R1–R4 and records
-/// the call sites the analysis layer resolves for R5.
+/// and the memory-ordering discipline rules checked against `stm-order:`
+/// contracts (lint/OrderRules.h):
+///
+///   O1 torn publish          — relaxed store to a publish()-contracted
+///                              variable with no dominating release fence
+///   O2 pairing violation     — relaxed access to a pair()-contracted
+///                              acquire-load/release-store variable
+///   O3 fence contract        — a fence(seq_cst) before(callee) contract
+///                              whose anchor call is not dominated by a
+///                              seq_cst fence (the 5343567 store-buffering
+///                              fix, kept restored by construction)
+///
+/// Which of R1/R2/R6 apply — and how strictly — depends on the engine the
+/// transaction handle belongs to; RuleProfile carries that per-engine
+/// configuration, keyed by the handle's type name (matching the policy
+/// names in src/engine/Engines.h).
+///
+/// scanRange() performs the statement-level detection of R1–R4 and R6 and
+/// records the call sites the analysis layer resolves for R5.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,11 +66,15 @@ enum class Rule : uint8_t {
   NonDeterminism, // R3
   HandleEscape,   // R4
   UnsafeCallee,   // R5
+  UpgradeHazard,  // R6
   BadSuppression, // S1
+  TornPublish,    // O1
+  AcquireRelease, // O2
+  FenceContract,  // O3
 };
-inline constexpr size_t NumRules = 6;
+inline constexpr size_t NumRules = 10;
 
-/// Stable diagnostic id ("R1".."R5", "S1").
+/// Stable diagnostic id ("R1".."R6", "S1", "O1".."O3").
 const char *ruleId(Rule R);
 
 /// One-line fix hint shown with every diagnostic of the rule.
@@ -56,6 +82,33 @@ const char *ruleHint(Rule R);
 
 /// Parses "R1" etc.; returns false for unknown ids.
 bool ruleFromId(std::string_view Id, Rule &Out);
+
+/// Per-engine rule configuration, selected by the transaction handle's
+/// type name. The names mirror src/engine/Engines.h policy names.
+struct RuleProfile {
+  /// Profile name used in diagnostics ("tl2", "tlrw", "2pl-undo", ...).
+  const char *Name = "generic";
+  /// R1 applies. Off for engine-internal bodies (policy statics taking a
+  /// template-parameter handle): raw atomics *are* the engine there, and
+  /// the ordering pass owns their discipline instead.
+  bool CheckNakedAccess = true;
+  /// R5 applies. Off for engine-internal bodies, whose calls into the
+  /// runtime machinery (clock advance, commit-ring record, epoch slots)
+  /// legitimately touch raw atomics.
+  bool CheckCallees = true;
+  /// R6 applies: the engine takes visible shared read locks that a
+  /// subsequent write to the same location must upgrade (TLRW).
+  bool UpgradeHazard = false;
+  /// Stricter R2: the engine writes in place with an undo log, and the
+  /// retry loop catches only TxAbortException — a user `throw` unwinds
+  /// past the undo replay and leaves partial writes applied.
+  bool InPlaceUndo = false;
+};
+
+/// Profile for a handle of type \p HandleType (empty/unknown → generic).
+/// Template-parameter handle types (e.g. `TxnT` in the policy statics)
+/// map to the engine-internal profile.
+const RuleProfile &profileForHandleType(std::string_view HandleType);
 
 /// A rule violation found by the token scan, before suppression
 /// processing and call-graph resolution.
@@ -92,10 +145,11 @@ using SkipRanges = std::vector<std::pair<size_t, size_t>>;
 
 /// Scans tokens [Begin, End) as transactional context with handle name
 /// \p Handle (empty when scanning a plain function for its would-be
-/// violations — then every atomic access is naked by definition).
+/// violations — then every atomic access is naked by definition) under
+/// the per-engine rule configuration \p Profile.
 ScanResult scanRange(const std::vector<Token> &Tokens, size_t Begin,
                      size_t End, std::string_view Handle,
-                     const SkipRanges &Skip);
+                     const RuleProfile &Profile, const SkipRanges &Skip);
 
 } // namespace gstm::lint
 

@@ -95,6 +95,10 @@ public:
 
   StripeHashKind hashKind() const { return Kind; }
 
+  // Stripe version publishes on the single-fence commit paths are
+  // relaxed stores; the one release fence after writeback is what makes
+  // a reader's acquire load of the stripe observe the new data.
+  // stm-order: publish(stripeAt) requires release-fence-before
   std::atomic<uint64_t> &stripeAt(size_t Index) {
     assert(Index <= Mask && "stripe index out of range");
     return Stripes[Index];

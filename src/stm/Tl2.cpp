@@ -224,6 +224,7 @@ void Tl2Txn::commitOrThrow(uint32_t PriorAborts) {
     // committers each miss the other's freshly taken lock, both
     // validate clean, and both commit a lost update (real on POWER;
     // invisible on x86/ARMv8, so check_fuzz cannot catch it).
+    // stm-order: fence(seq_cst) before(validateReadSet) label(Tl2Txn::commitOrThrow single-fence commit)
     std::atomic_thread_fence(std::memory_order_seq_cst);
     if (!Cfg.Fault.SkipReadValidation)
       validateReadSet(Self);

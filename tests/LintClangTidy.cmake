@@ -22,6 +22,30 @@ if(NOT EXISTS "${BUILD_DIR}/compile_commands.json")
   return()
 endif()
 
+# With a compile database present, a clang-tidy that cannot provide the
+# load-bearing check groups is a FAILURE, not a skip: silently running
+# without the concurrency checks would green-light exactly the bugs this
+# gate exists for.
+execute_process(
+  COMMAND "${CLANG_TIDY}" --list-checks
+          "--checks=concurrency-*,bugprone-spuriously-wake-up-functions,bugprone-unhandled-self-assignment"
+  OUTPUT_VARIABLE AVAILABLE_CHECKS
+  RESULT_VARIABLE LIST_RC)
+if(NOT LIST_RC EQUAL 0)
+  message(FATAL_ERROR "clang-tidy --list-checks failed (exit ${LIST_RC})")
+endif()
+foreach(REQUIRED_CHECK
+        concurrency-mt-unsafe
+        bugprone-spuriously-wake-up-functions
+        bugprone-unhandled-self-assignment)
+  string(FIND "${AVAILABLE_CHECKS}" "${REQUIRED_CHECK}" CHECK_AT)
+  if(CHECK_AT EQUAL -1)
+    message(FATAL_ERROR
+      "${CLANG_TIDY} does not provide ${REQUIRED_CHECK}; the lint gate "
+      "cannot run without its concurrency/self-assignment checks")
+  endif()
+endforeach()
+
 file(GLOB TIDY_SOURCES
   "${SOURCE_DIR}/src/lint/*.cpp"
   "${SOURCE_DIR}/src/support/*.cpp"

@@ -1,0 +1,103 @@
+# Mutation self-test for the stm_lint memory-ordering pass (ctest
+# lint_mutation). Copies the engine sources into a scratch tree, applies
+# one ordering mutant at a time — deleting the seq_cst fence from each
+# single-fence commit path, downgrading a version-publish release store
+# to relaxed — and asserts stm_lint fails each mutant with the right
+# O-rule and path label, while the pristine copy stays clean. This is
+# the executable proof that re-removing the 5343567 store-buffering
+# fence cannot land silently.
+#
+# Inputs: -DSTM_LINT=<stm_lint binary> -DSOURCE_DIR=<repo root>
+#         -DWORK_DIR=<scratch dir>
+
+foreach(VAR STM_LINT SOURCE_DIR WORK_DIR)
+  if(NOT DEFINED ${VAR})
+    message(FATAL_ERROR "LintMutation.cmake: ${VAR} not set")
+  endif()
+endforeach()
+
+# Fresh copy of every directory the ordering contracts live in.
+function(reset_tree)
+  file(REMOVE_RECURSE ${WORK_DIR}/src)
+  file(COPY ${SOURCE_DIR}/src/stm ${SOURCE_DIR}/src/libtm
+            ${SOURCE_DIR}/src/engine
+       DESTINATION ${WORK_DIR}/src)
+endfunction()
+
+# Applies one textual mutant; a MATCH that no longer appears in FILE is
+# a hard error — the mutation corpus must never rot into no-ops.
+function(mutate FILE MATCH REPLACE)
+  file(READ ${WORK_DIR}/${FILE} OLD)
+  string(REPLACE "${MATCH}" "${REPLACE}" NEW "${OLD}")
+  if(NEW STREQUAL OLD)
+    message(FATAL_ERROR
+      "lint_mutation: pattern not found in ${FILE}: ${MATCH}")
+  endif()
+  file(WRITE ${WORK_DIR}/${FILE} "${NEW}")
+endfunction()
+
+# Runs stm_lint over the scratch tree and asserts exit code + output.
+function(run_lint LABEL EXPECT_RC)
+  execute_process(
+    COMMAND ${STM_LINT} --root=${WORK_DIR} src
+    OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR RESULT_VARIABLE RC)
+  if(NOT RC EQUAL ${EXPECT_RC})
+    message(FATAL_ERROR "lint_mutation[${LABEL}]: expected exit "
+      "${EXPECT_RC}, got ${RC}\n${OUT}${ERR}")
+  endif()
+  foreach(PATTERN ${ARGN})
+    string(FIND "${OUT}" "${PATTERN}" AT)
+    if(AT EQUAL -1)
+      message(FATAL_ERROR "lint_mutation[${LABEL}]: output lacks "
+        "\"${PATTERN}\"\n${OUT}${ERR}")
+    endif()
+  endforeach()
+  message(STATUS "lint_mutation[${LABEL}]: ok")
+endfunction()
+
+set(SEQ_FENCE "std::atomic_thread_fence(std::memory_order_seq_cst);")
+
+# Control: the pristine tree must be clean, or every mutant result is
+# noise.
+reset_tree()
+run_lint(pristine 0)
+
+# Fence deletion from each single-fence commit path -> O3 names the path.
+reset_tree()
+mutate(src/stm/Tl2.cpp "${SEQ_FENCE}" "")
+run_lint(tl2-fence-removed 1 "[O3]"
+         "Tl2Txn::commitOrThrow single-fence commit")
+
+reset_tree()
+mutate(src/libtm/LibTm.cpp "${SEQ_FENCE}" "")
+run_lint(libtm-fence-removed 1 "[O3]"
+         "LibTxn::commitOrThrow single-fence commit")
+
+reset_tree()
+mutate(src/engine/OrecEager.h "${SEQ_FENCE}" "")
+run_lint(orec-fence-removed 1 "[O3]"
+         "OrecEagerPolicy::commit single-fence commit")
+
+# Weakening the fence is as fatal as deleting it.
+reset_tree()
+mutate(src/stm/Tl2.cpp "${SEQ_FENCE}"
+       "std::atomic_thread_fence(std::memory_order_acquire);")
+run_lint(tl2-fence-weakened 1 "[O3]"
+         "Tl2Txn::commitOrThrow single-fence commit")
+
+# Torn publish: downgrading a standard-path version publish to relaxed
+# leaves no dominating release fence -> O1.
+reset_tree()
+mutate(src/stm/Tl2.cpp
+       ".store(LockTable::encodeVersion(Wv), std::memory_order_release)"
+       ".store(LockTable::encodeVersion(Wv), std::memory_order_relaxed)")
+run_lint(tl2-torn-publish 1 "[O1]" "stripeAt")
+
+reset_tree()
+mutate(src/engine/OrecEager.h
+       "LockTable::encodeVersion(Wv), std::memory_order_release)"
+       "LockTable::encodeVersion(Wv), std::memory_order_relaxed)")
+run_lint(orec-torn-publish 1 "[O1]" "stripeAt")
+
+reset_tree()
+message(STATUS "lint_mutation: all mutants flagged, pristine clean")

@@ -1,0 +1,39 @@
+// stm_lint fixture: O1 torn publish. A location under a publish()
+// contract may be stored relaxed only behind a dominating release
+// fence (the single-fence commit idiom); a bare relaxed store lets
+// readers observe the new version before the data it guards.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+#include <cstdint>
+
+struct Entry {
+  // stm-order: publish(Meta) requires release-fence-before
+  std::atomic<uint64_t> Meta{0};
+  std::atomic<uint64_t> Data{0};
+};
+
+Entry E;
+
+void tornPublish(uint64_t V) {
+  E.Data.store(V, std::memory_order_relaxed);
+  E.Meta.store(V, std::memory_order_relaxed); // expect-diag(O1)
+}
+
+void fencedPublish(uint64_t V) {
+  E.Data.store(V, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  E.Meta.store(V, std::memory_order_relaxed); // fine: fence dominates
+}
+
+void releasePublish(uint64_t V) {
+  E.Data.store(V, std::memory_order_relaxed);
+  E.Meta.store(V, std::memory_order_release); // fine: release store
+}
+
+void branchFence(uint64_t V, bool Fast) {
+  if (Fast) {
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  E.Meta.store(V, std::memory_order_relaxed); // expect-diag(O1)
+}

@@ -1,0 +1,35 @@
+// stm_lint fixture: O2 acquire/release pairing. A pair() location must
+// be loaded with acquire (or stronger) and stored with release (or
+// stronger); a relaxed store is tolerated only behind a dominating
+// release fence, the fence-publication form.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+#include <cstdint>
+
+// stm-order: pair(State) acquire-load release-store
+std::atomic<uint64_t> State{0};
+
+uint64_t relaxedLoad() {
+  return State.load(std::memory_order_relaxed); // expect-diag(O2)
+}
+
+void relaxedStore(uint64_t V) {
+  State.store(V, std::memory_order_relaxed);    // expect-diag(O2)
+}
+
+uint64_t pairedProperly(uint64_t V) {
+  State.store(V, std::memory_order_release);    // fine
+  return State.load(std::memory_order_acquire); // fine
+}
+
+void fencePublication(uint64_t V) {
+  std::atomic_thread_fence(std::memory_order_release);
+  State.store(V, std::memory_order_relaxed);    // fine: fence dominates
+}
+
+uint64_t rmwExempt() {
+  // RMWs are inventoried, not checked: CAS-retry loops make relaxed
+  // forms deliberate, reviewed choices.
+  return State.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,40 @@
+// stm_lint fixture: O3 fence contracts. A `fence(seq_cst)
+// before(CALLEE)` comment binds the next call to CALLEE in its
+// function; the call must be dominated by a seq_cst fence issued at or
+// after the contract line. A contract binding no call is itself a
+// violation — the annotation drifted from the code it pinned.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <atomic>
+
+void validateReadSet();
+void writeBack();
+
+void fencedCommit() {
+  // stm-order: fence(seq_cst) before(validateReadSet) label(fixture fenced commit)
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  validateReadSet();        // fine: fence dominates
+  writeBack();
+}
+
+void unfencedCommit() {
+  // stm-order: fence(seq_cst) before(validateReadSet) label(fixture unfenced commit)
+  std::atomic_thread_fence(std::memory_order_acquire);
+  validateReadSet();        // expect-diag(O3)
+  writeBack();
+}
+
+void branchFencedCommit(bool Fast) {
+  // stm-order: fence(seq_cst) before(validateReadSet) label(fixture branch-fenced commit)
+  if (Fast) {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+  validateReadSet();        // expect-diag(O3)
+}
+
+void driftedCommit() {
+  // The contract binds no call, which is itself the violation:
+  /* expect-diag(O3) */ // stm-order: fence(seq_cst) before(validateReadSet) label(fixture drifted commit)
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  writeBack();
+}

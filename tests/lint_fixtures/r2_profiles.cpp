@@ -1,0 +1,35 @@
+// stm_lint fixture: per-engine R2 profiles. Undo-log engines (orec-
+// eager, tlrw, 2pl-undo) apply in-place writes before commit, and the
+// executor only unwinds TxAbortException — so `throw <expr>` escaping a
+// body leaves undo-logged writes applied. Redo-log engines (tl2, libtm)
+// buffer writes, so the same throw merely drops the buffer.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+struct OrecEagerTxn {
+  unsigned load(unsigned *);
+};
+struct TwoPlTxn {
+  unsigned load(unsigned *);
+};
+struct Tl2Txn {
+  unsigned load(unsigned *);
+};
+
+struct Overflow {};
+
+void orecBody(OrecEagerTxn &Tx) {
+  unsigned *P = nullptr;
+  if (Tx.load(P) > 7)
+    throw Overflow{};        // expect-diag(R2)
+}
+
+void twoPlRethrow(TwoPlTxn &Tx) {
+  (void)Tx;
+  throw;                     // fine: rethrow only exists inside a catch
+}
+
+void tl2Body(Tl2Txn &Tx) {
+  unsigned *P = nullptr;
+  if (Tx.load(P) > 7)
+    throw Overflow{};        // fine: redo-log engine, buffer is dropped
+}

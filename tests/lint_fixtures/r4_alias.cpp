@@ -1,0 +1,29 @@
+// stm_lint fixture: R4 through a reference alias of the handle. The
+// dataflow upgrade tracks `auto &H = Tx;` bindings, so escapes through
+// the alias are caught exactly like escapes through the handle itself.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <functional>
+
+struct Tl2Txn {
+  template <typename F> void run(unsigned, F &&);
+  unsigned load(unsigned *);
+};
+
+Tl2Txn *Leaked;
+std::function<void()> Deferred;
+unsigned *LeakedCount;
+
+void drive() {
+  Tl2Txn Txn;
+  Txn.run(0, [&](Tl2Txn &Tx) {
+    Tl2Txn &Handle = Tx;
+    Leaked = &Handle;                          // expect-diag(R4)
+    auto &Again = Handle;                      // alias of an alias
+    Deferred = [&Again]() {};                  // expect-diag(R4)
+    unsigned Count = 0;
+    unsigned &Ref = Count;                     // fine: not a handle alias
+    LeakedCount = &Ref;
+    (void)Tx.load(&Count);
+  });
+}

@@ -1,0 +1,33 @@
+// stm_lint fixture: R6 read-to-write upgrade hazard. Under the tlrw
+// profile (read-locks taken per read), storing to a location the body
+// already read risks an upgrade deadlock/abort cycle; the write-lock
+// should be taken first by writing before reading, or the read done
+// through a to-be-written intent API. Engines without reader-writer
+// locks (tl2) are exempt — the same shape is the common read-modify-
+// write idiom there.
+// Not built; linted by the lint_test ctest via `stm_lint --expect`.
+
+#include <cstdint>
+
+struct TlrwTxn {
+  uint64_t load(uint64_t *);
+  void store(uint64_t *, uint64_t);
+};
+struct Tl2Txn {
+  uint64_t load(uint64_t *);
+  void store(uint64_t *, uint64_t);
+};
+
+uint64_t A, B, C;
+
+void tlrwBody(TlrwTxn &Tx) {
+  uint64_t V = Tx.load(&A);
+  Tx.store(&B, V);           // fine: different location
+  Tx.store(&A, V + 1);       // expect-diag(R6)
+  Tx.store(&C, Tx.load(&C) + 1); // nested form: store precedes load, exempt
+}
+
+void tl2Body(Tl2Txn &Tx) {
+  uint64_t V = Tx.load(&A);
+  Tx.store(&A, V + 1);       // fine: tl2 has no read locks to upgrade
+}

@@ -5,7 +5,8 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Static lint of transaction bodies (src/lint/, DESIGN.md §4e):
+// Static lint of transaction bodies and memory-ordering discipline
+// (src/lint/, DESIGN.md §4e):
 //
 //   stm_lint [--root=DIR] [--json] [paths...]   # lint sources (default:
 //                                               # src tests tools bench
@@ -13,6 +14,11 @@
 //   stm_lint --expect [paths...]                # fixture self-check:
 //                                               # expect-diag annotations
 //                                               # must match exactly
+//   stm_lint --baseline=FILE [paths...]         # waive known findings;
+//                                               # stale entries reported
+//   stm_lint --baseline=FILE --write-baseline   # record current findings
+//   stm_lint --sarif-dir=DIR [paths...]         # also write DIR/stm_lint
+//                                               # .sarif (SARIF 2.1.0)
 //   stm_lint --rules                            # print the rule table
 //
 // Exit status: 0 clean / all expectations matched, 1 diagnostics found or
@@ -24,6 +30,8 @@
 #include "support/Options.h"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 using namespace gstm;
 using namespace gstm::lint;
@@ -37,20 +45,52 @@ static int printRules() {
       {Rule::NakedAccess,
        "naked shared access (atomic/TVar/TObj bypassing the txn handle)"},
       {Rule::Irrevocable,
-       "irrevocable operation (heap outside TmPool, I/O, sleep, mutex)"},
+       "irrevocable operation (heap outside TmPool, I/O, sleep, mutex; "
+       "undo-log engine profiles also flag throw-with-operand)"},
       {Rule::NonDeterminism,
        "non-determinism source (rand, random_device, clock reads)"},
       {Rule::HandleEscape,
-       "transaction handle stored or captured beyond the body"},
+       "transaction handle (or a reference alias of it) stored or "
+       "captured beyond the body"},
       {Rule::UnsafeCallee,
        "call into a function that transitively trips R1-R4"},
+      {Rule::UpgradeHazard,
+       "write after validated read of the same location under a "
+       "read-lock engine (tlrw): upgrade deadlock/abort hazard"},
       {Rule::BadSuppression,
        "stm-lint: allow(...) suppression without a rationale"},
+      {Rule::TornPublish,
+       "relaxed store to a publish(NAME) location with no dominating "
+       "release fence"},
+      {Rule::AcquireRelease,
+       "pair(NAME) location loaded without acquire or stored without "
+       "release (and no dominating release fence)"},
+      {Rule::FenceContract,
+       "fence(seq_cst) before(CALLEE) contract violated: anchor call "
+       "not dominated by a seq_cst fence, or contract binds no call"},
   };
   for (const auto &E : Table)
     std::printf("%-4s %s\n       hint: %s\n", ruleId(E.R), E.Summary,
                 ruleHint(E.R));
   return 0;
+}
+
+static bool readFileTo(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+static bool writeFileFrom(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Text;
+  return Out.good();
 }
 
 int main(int Argc, char **Argv) {
@@ -62,6 +102,11 @@ int main(int Argc, char **Argv) {
           {"json", "", "emit the report as JSON instead of text"},
           {"expect", "",
            "fixture mode: match expect-diag(<rule>) annotations"},
+          {"baseline", "FILE",
+           "waive findings recorded in FILE (rule/file/message match)"},
+          {"write-baseline", "",
+           "rewrite --baseline FILE from the current findings and exit 0"},
+          {"sarif-dir", "DIR", "also write DIR/stm_lint.sarif"},
           {"quiet", "", "print nothing on a clean run"},
           {"rules", "", "print the rule table and exit"},
       },
@@ -98,6 +143,50 @@ int main(int Argc, char **Argv) {
   }
 
   LintResult R = lintSources(Files);
+
+  const std::string BaselinePath = Opts.getString("baseline", "");
+  if (Opts.getBool("write-baseline", false)) {
+    if (BaselinePath.empty()) {
+      std::fprintf(stderr,
+                   "stm_lint: --write-baseline requires --baseline=FILE\n");
+      return 2;
+    }
+    if (!writeFileFrom(BaselinePath, baselineText(R))) {
+      std::fprintf(stderr, "stm_lint: cannot write baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 2;
+    }
+    std::printf("stm_lint: wrote %zu baseline entr%s to %s\n",
+                R.Diags.size(), R.Diags.size() == 1 ? "y" : "ies",
+                BaselinePath.c_str());
+    return 0;
+  }
+  if (!BaselinePath.empty()) {
+    std::string Text;
+    if (!readFileTo(BaselinePath, Text)) {
+      std::fprintf(stderr, "stm_lint: cannot read baseline '%s'\n",
+                   BaselinePath.c_str());
+      return 2;
+    }
+    std::vector<BaselineEntry> Stale;
+    applyBaseline(R, parseBaseline(Text), Stale);
+    for (const BaselineEntry &E : Stale)
+      std::fprintf(stderr,
+                   "stm_lint: stale baseline entry (fixed? remove it): "
+                   "%s\t%s\t%s\n",
+                   E.RuleId.c_str(), E.File.c_str(), E.Message.c_str());
+  }
+
+  const std::string SarifDir = Opts.getString("sarif-dir", "");
+  if (!SarifDir.empty()) {
+    const std::string SarifPath = SarifDir + "/stm_lint.sarif";
+    if (!writeFileFrom(SarifPath, toSarif(R))) {
+      std::fprintf(stderr, "stm_lint: cannot write SARIF '%s'\n",
+                   SarifPath.c_str());
+      return 2;
+    }
+  }
+
   if (Opts.getBool("json", false))
     std::printf("%s\n", toJson(R).c_str());
   else if (!R.clean() || !Opts.getBool("quiet", false))
