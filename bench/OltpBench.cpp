@@ -7,6 +7,7 @@
 
 #include "bench/OltpBench.h"
 
+#include "shard/ShardBackend.h"
 #include "support/SplitMix64.h"
 #include "tmds/TmBTree.h"
 #include "tmds/TmSkipList.h"
@@ -224,6 +225,7 @@ OltpResult runWith(const OltpConfig &Cfg, typename B::Stm &Stm) {
   R.Aborts = After.Aborts - Before.Aborts;
   R.CommitRingLookups = After.CommitRingLookups - Before.CommitRingLookups;
   R.CommitRingMisses = After.CommitRingMisses - Before.CommitRingMisses;
+  R.CrossShardCommits = After.CrossShardCommits - Before.CrossShardCommits;
 
   uint64_t TotalInserted = 0;
   for (uint64_t N : Inserted)
@@ -252,8 +254,14 @@ OltpResult gstm::runOltp(const OltpConfig &Cfg) {
               "' (want skiplist or btree)";
     return R;
   }
-  if (Cfg.Backend != "tl2" && Cfg.Backend != "libtm") {
-    R.Error = "unknown backend '" + Cfg.Backend + "' (want tl2 or libtm)";
+  const bool Sharded = Cfg.Backend == "sharded" || Cfg.Shards > 0;
+  if (!Sharded && Cfg.Backend != "tl2" && Cfg.Backend != "libtm") {
+    R.Error =
+        "unknown backend '" + Cfg.Backend + "' (want tl2, libtm or sharded)";
+    return R;
+  }
+  if (Sharded && Cfg.Backend != "sharded" && Cfg.Backend != "tl2") {
+    R.Error = "--shards only applies to the sharded backend";
     return R;
   }
   if (Cfg.Mix.total() != 100) {
@@ -265,6 +273,20 @@ OltpResult gstm::runOltp(const OltpConfig &Cfg) {
     return R;
   }
 
+  if (Sharded) {
+    ShardConfig C;
+    if (Cfg.Shards)
+      C.ShardCount = Cfg.Shards;
+    if (C.ShardCount == 0 || C.ShardCount > MaxShardCount) {
+      R.Error = "shard count must be in [1, " +
+                std::to_string(MaxShardCount) + "]";
+      return R;
+    }
+    if (Cfg.RingBits)
+      C.CommitRingBits = Cfg.RingBits;
+    ShardedStm Stm(C);
+    return runOnBackend<ShardBackend>(Cfg, Stm);
+  }
   if (Cfg.Backend == "tl2") {
     Tl2Config C;
     if (Cfg.RingBits)

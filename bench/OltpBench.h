@@ -52,7 +52,7 @@ bool oltpMixFromName(const std::string &Name, OltpMix &Out);
 
 struct OltpConfig {
   std::string Structure = "skiplist"; ///< skiplist | btree
-  std::string Backend = "tl2";        ///< tl2 | libtm
+  std::string Backend = "tl2";        ///< tl2 | libtm | sharded
   unsigned Threads = 4;
   /// Keys preloaded before the timed run (keyspace is [1, Records];
   /// inserts append fresh keys above it).
@@ -70,6 +70,9 @@ struct OltpConfig {
   /// Commit-ring size override (log2 slots) for the abort-attribution
   /// ring; 0 keeps the runtime default.
   unsigned RingBits = 0;
+  /// Shard count for the sharded backend; non-zero forces
+  /// Backend = "sharded" semantics (0 leaves the flat backends alone).
+  unsigned Shards = 0;
   uint64_t Seed = 1;
 };
 
@@ -85,6 +88,9 @@ struct OltpResult {
   uint64_t Aborts = 0;
   uint64_t CommitRingLookups = 0;
   uint64_t CommitRingMisses = 0;
+  /// Sharded backend only: commits that ran the cross-shard 2PC path
+  /// (zero on the flat backends).
+  uint64_t CrossShardCommits = 0;
 
   double opsPerSecond() const {
     return WallSeconds > 0 ? static_cast<double>(Operations) / WallSeconds

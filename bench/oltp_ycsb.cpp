@@ -35,7 +35,9 @@ int main(int Argc, char **Argv) {
       "YCSB-style OLTP benchmark over the transactional skiplist/B-tree",
       {
           {"structure", "S", "skiplist or btree (default skiplist)"},
-          {"backend", "B", "tl2 or libtm (default tl2)"},
+          {"backend", "B", "tl2, libtm or sharded (default tl2)"},
+          {"shards", "N", "shard count; implies --backend=sharded "
+                          "(default 0 = flat backend)"},
           {"threads", "T", "worker threads (default 4)"},
           {"records", "N", "preloaded keys (default 1048576)"},
           {"ops", "N", "total operations (default 262144)"},
@@ -85,6 +87,9 @@ int main(int Argc, char **Argv) {
       std::strtod(Opts.getString("rate", "0").c_str(), nullptr);
   Cfg.RingBits =
       static_cast<unsigned>(Opts.getInt("ring-bits", Cfg.RingBits));
+  Cfg.Shards = static_cast<unsigned>(Opts.getInt("shards", Cfg.Shards));
+  if (Cfg.Shards && Cfg.Backend == "tl2")
+    Cfg.Backend = "sharded";
   Cfg.Seed = static_cast<uint64_t>(Opts.getInt("seed", 1));
 
   OltpResult R = runOltp(Cfg);
@@ -116,6 +121,10 @@ int main(int Argc, char **Argv) {
     W.key("commit_ring_lookups").value(R.CommitRingLookups);
     W.key("commit_ring_misses").value(R.CommitRingMisses);
     W.key("commit_ring_miss_ratio").value(R.commitRingMissRatio());
+    if (Cfg.Shards) {
+      W.key("shards").value(uint64_t{Cfg.Shards});
+      W.key("cross_shard_commits").value(R.CrossShardCommits);
+    }
     W.endObject();
     std::printf("%s\n", W.str().c_str());
     return 0;
@@ -147,5 +156,13 @@ int main(int Argc, char **Argv) {
                         static_cast<double>(R.Commits + R.Aborts)
                   : 0.0,
               R.commitRingMissRatio());
+  if (Cfg.Shards)
+    std::printf("  %u shard(s), %llu cross-shard commits (%.1f%% of "
+                "commits)\n",
+                Cfg.Shards,
+                static_cast<unsigned long long>(R.CrossShardCommits),
+                R.Commits ? 100.0 * static_cast<double>(R.CrossShardCommits) /
+                                static_cast<double>(R.Commits)
+                          : 0.0);
   return 0;
 }

@@ -39,6 +39,9 @@ void writeSnapshotFields(JsonWriter &W, const StatsSnapshot &S) {
   W.key("attempt_nanos").value(S.AttemptNanos);
   W.key("commit_ring_lookups").value(S.CommitRingLookups);
   W.key("commit_ring_misses").value(S.CommitRingMisses);
+  W.key("cross_shard_commits").value(S.CrossShardCommits);
+  W.key("cross_shard_aborts").value(S.CrossShardAborts);
+  W.key("prepare_retries").value(S.PrepareRetries);
 }
 
 void writeGuideStats(JsonWriter &W, const GuideStats &G) {
@@ -217,5 +220,11 @@ std::optional<StatsSnapshot> gstm::snapshotFromJson(const JsonValue &V) {
     S.CommitRingLookups = N->asU64();
   if (const JsonValue *N = V.find("commit_ring_misses"))
     S.CommitRingMisses = N->asU64();
+  if (const JsonValue *N = V.find("cross_shard_commits"))
+    S.CrossShardCommits = N->asU64();
+  if (const JsonValue *N = V.find("cross_shard_aborts"))
+    S.CrossShardAborts = N->asU64();
+  if (const JsonValue *N = V.find("prepare_retries"))
+    S.PrepareRetries = N->asU64();
   return S;
 }

@@ -1,0 +1,76 @@
+//===- shard/ShardBackend.h - tmds backend traits for the sharded tier ---===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backend traits (tmds/TmBackend.h contract) plugging the sharded tier
+/// into the template-based transactional containers and the OLTP bench:
+/// cells are TVar<T> exactly as on TL2 — the partitioning is entirely a
+/// property of the runtime's metadata, not of the data layout — so
+/// cellAddr/cellRaw report the same encoding and one container source
+/// runs sharded unchanged. Only the per-cell residue probe differs: the
+/// stripe guarding a cell lives in its *home shard's* lock table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SHARD_SHARDBACKEND_H
+#define GSTM_SHARD_SHARDBACKEND_H
+
+#include "shard/Sharded.h"
+#include "stm/TVar.h"
+
+#include <atomic>
+#include <cstdint>
+#include <type_traits>
+
+namespace gstm {
+
+/// Word-based sharded backend: TVar cells over the partitioned orec
+/// space.
+struct ShardBackend {
+  using Stm = ShardedStm;
+  using Txn = ShardedTxn;
+  template <typename T> using Cell = TVar<T>;
+
+  static constexpr const char *Name = "sharded";
+
+  template <typename T> static T load(Txn &Tx, const Cell<T> &C) {
+    return Tx.load(C);
+  }
+  template <typename T>
+  static void store(Txn &Tx, Cell<T> &C, std::type_identity_t<T> Value) {
+    Tx.store(C, Value);
+  }
+  template <typename T> static T loadDirect(const Cell<T> &C) {
+    return C.loadDirect();
+  }
+  template <typename T>
+  static void storeDirect(Cell<T> &C, std::type_identity_t<T> Value) {
+    C.storeDirect(Value);
+  }
+
+  /// Address / raw value as seen by TxAccessObserver callbacks.
+  template <typename T> static const void *cellAddr(const Cell<T> &C) {
+    return &C.word();
+  }
+  template <typename T> static uint64_t cellRaw(const Cell<T> &C) {
+    return C.word().load(std::memory_order_relaxed);
+  }
+
+  /// True when the home-shard stripe guarding \p C is still locked
+  /// (post-run residue probe; quiescent use only).
+  template <typename T> static bool cellLocked(Stm &S, const Cell<T> &C) {
+    auto &Word = const_cast<Cell<T> &>(C).word();
+    return LockTable::decode(S.lockTableOf(S.shardFor(&Word))
+                                 .stripeFor(&Word)
+                                 .load(std::memory_order_relaxed))
+        .Locked;
+  }
+};
+
+} // namespace gstm
+
+#endif // GSTM_SHARD_SHARDBACKEND_H

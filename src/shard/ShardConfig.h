@@ -1,0 +1,116 @@
+//===- shard/ShardConfig.h - Sharded STM tier configuration --------------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the sharded STM tier (shard/Sharded.h): how many
+/// shard contexts partition the orec/version space, how addresses map to
+/// their home shard, and whether model-steered placement is armed. The
+/// shape deliberately mirrors Tl2Config so existing harness code can
+/// treat a ShardedStm like one more runtime configuration.
+///
+/// shardConfigCanonical() renders the knobs that change transactional
+/// behavior into the canonical `key=value;` string ModelStore hashes into
+/// ModelKey::ConfigHash — a sharded and an unsharded model of the same
+/// workload must never collide in the store (see tools/model_ctl.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SHARD_SHARDCONFIG_H
+#define GSTM_SHARD_SHARDCONFIG_H
+
+#include "engine/TxnExecutor.h"
+#include "stm/LockTable.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace gstm {
+
+/// Upper bound on shard contexts per runtime: participation masks are one
+/// 64-bit word, mirroring the StatsShardCount sizing.
+inline constexpr unsigned MaxShardCount = 64;
+
+/// How a word address maps to its home shard (the shard whose LockTable,
+/// CommitRing and applied clock govern it).
+enum class ShardHashKind : uint8_t {
+  /// Murmur3-style avalanche finalizer, shard index from the top bits —
+  /// statistically independent of the per-shard stripe hash, which takes
+  /// the low bits of its own mix.
+  Mix,
+  /// Single Fibonacci multiply. Cheaper, but allocation-correlated
+  /// addresses clump; kept for A/B comparisons like StripeHashKind.
+  Fibonacci,
+};
+
+/// Stable names ("mix" / "fib") for canonical strings and CLI flags.
+const char *shardHashName(ShardHashKind Kind);
+/// Inverse of shardHashName; returns false for unknown names.
+bool shardHashFromName(const std::string &Name, ShardHashKind &Out);
+
+/// Deliberately broken sharded-commit behavior for the correctness
+/// harness's mutation self-test (check/ShardFuzz.h): tears the
+/// coordinated cross-shard publish so the opacity checker can prove it
+/// flags the resulting executions. Never enable outside the self-test.
+struct ShardFaultInjection {
+  /// Publish the first participating shard's stripe versions at wv
+  /// *before* the coordinated write-back, with a yield in between:
+  /// readers on that shard can validate new-version stripes while still
+  /// observing pre-commit data on every shard.
+  bool TornCoordinatedPublish = false;
+};
+
+/// Construction-time configuration of a ShardedStm runtime.
+struct ShardConfig {
+  /// Shard contexts partitioning the orec/version space. Power of two in
+  /// [1, MaxShardCount]; 1 degenerates to an unsharded TL2 with the
+  /// sharded tier's bookkeeping.
+  unsigned ShardCount = 4;
+  /// Address -> home-shard hash.
+  ShardHashKind ShardHash = ShardHashKind::Mix;
+  /// Model-steered home-shard placement armed (shard/Steering.h). The
+  /// flag is part of the canonical config string: steered and unsteered
+  /// models of the same workload are distinct keys.
+  bool Steering = false;
+  /// Per-shard lock-table stripes (2^Bits each). Two bits below the Tl2
+  /// default: the table is per shard, so total stripe count scales with
+  /// ShardCount.
+  unsigned LockTableBits = 18;
+  /// Per-shard commit-ring slots (2^Bits each).
+  unsigned CommitRingBits = 13;
+  /// Per-shard stripe hash (LockTable's address-to-stripe mapping).
+  StripeHashKind StripeHash = StripeHashKind::Mix;
+  /// Single-fence commit ordering, exactly as Tl2Config::SingleFenceCommit:
+  /// validate, write back, then advance and publish every participating
+  /// shard's stripe versions with relaxed stores behind one release
+  /// fence. Ignored (standard ordering) when Fault.TornCoordinatedPublish
+  /// needs the legacy publish path.
+  bool SingleFenceCommit = true;
+  /// Bounded spin on a locked stripe during cross-shard prepare before
+  /// the attempt gives up and aborts. Ordered (shard, stripe) acquisition
+  /// makes the waiting deadlock-free; the bound keeps a descheduled lock
+  /// holder from stalling the prepare indefinitely. Each spin iteration
+  /// counts into StatsShard::PrepareRetries.
+  unsigned PrepareSpinLimit = 64;
+  BackoffKind Backoff = BackoffKind::Yield;
+  /// Scheduler perturbation, as Tl2Config::PreemptShift. 0 = off.
+  unsigned PreemptShift = 0;
+  /// Per-attempt wall-clock latency accumulation, as Tl2Config.
+  bool TrackAttemptLatency = false;
+  /// Fault injection for the checker self-test; all off by default.
+  ShardFaultInjection Fault;
+};
+
+/// Canonical `key=value;` rendering of the knobs that select distinct
+/// model keys: shard count, address->shard hash kind, and steering.
+/// Appended to a workload's existing canonical config string before
+/// ModelStore::hashConfigString (see tools/model_ctl.cpp keyFor).
+std::string shardConfigCanonical(const ShardConfig &Cfg);
+
+} // namespace gstm
+
+#endif // GSTM_SHARD_SHARDCONFIG_H

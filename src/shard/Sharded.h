@@ -1,0 +1,368 @@
+//===- shard/Sharded.h - Sharded TL2 tier (partitioned orec space) -------===//
+//
+// Part of the GSTM reproduction of "Quantifying and Reducing Execution
+// Variance in STM via Model Driven Commit Optimization" (CGO 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded STM tier (ROADMAP item 4): the shared-memory analogue of
+/// ClusterSTM's address-distributed orec space. The transactional
+/// metadata of a ShardedStm is partitioned into N shard contexts, each
+/// with its own LockTable (orec partition), CommitRing (per-shard commit
+/// queue for abort attribution), applied version clock, and StatsShard
+/// group. Data words hash to a home shard (or are placed explicitly by
+/// the steering pass, shard/Steering.h); a transaction whose write set
+/// stays within one shard commits through the unchanged TL2 single-fence
+/// path against that shard's structures, while a cross-shard writer runs
+/// a two-phase protocol: per-shard prepare (stripe acquisition +
+/// validation) in globally ordered (shard id, stripe index) order — which
+/// precludes deadlock even though cross-shard prepare *waits* briefly on
+/// locked stripes instead of aborting — then one coordinated publish that
+/// stamps every participating shard at the same write version behind a
+/// single release fence (DESIGN.md §4j).
+///
+/// Versioning: one global VersionClock issues every write version, so
+/// commit versions stay globally unique and per-thread monotonic (the
+/// checker invariants of src/check). Each shard additionally maintains an
+/// *applied* clock, raised to wv strictly after that shard's stripe
+/// publishes. A transaction homed on shard H may sample its read version
+/// from H's applied clock instead of the global clock: the raiser's
+/// global-clock RMW chains every earlier committer's lock acquisition
+/// happens-before the sample, so the lagging rv is safe (reads of
+/// fresher shards abort on version and the descriptor escalates to the
+/// global clock — see UseGlobalRv). Shard-partitioned workloads thus
+/// avoid sampling the globally contended clock line on their fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GSTM_SHARD_SHARDED_H
+#define GSTM_SHARD_SHARDED_H
+
+#include "engine/TxnExecutor.h"
+#include "shard/ShardConfig.h"
+#include "stm/CommitRing.h"
+#include "stm/Contention.h"
+#include "stm/LockTable.h"
+#include "stm/Observer.h"
+#include "stm/StatsShard.h"
+#include "stm/VersionClock.h"
+#include "support/Ids.h"
+#include "support/MiniVector.h"
+#include "support/PtrIndexMap.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gstm {
+
+template <typename T> class TVar;
+class ShardedStm;
+
+/// Explicit address-range -> home-shard map, the output of the steering
+/// pass (shard/Steering.h). Ranges are half-open [Begin, End) over raw
+/// word addresses; addresses outside every range fall back to the
+/// configured hash. Install via ShardedStm::setPlacement at a quiescent
+/// point only: a word's stripe state lives in its home shard's lock
+/// table, so remapping an address mid-run would silently split one
+/// location's version history across two orec partitions.
+class ShardPlacement {
+public:
+  /// Maps [Begin, End) to \p Shard. Ranges must not overlap.
+  void addRange(const void *Begin, const void *End, unsigned Shard);
+
+  /// Sorts the ranges; must be called before the map is installed.
+  void finalize();
+
+  /// Home shard of \p Addr, or -1 when no range covers it.
+  int lookup(const void *Addr) const;
+
+  size_t size() const { return Ranges.size(); }
+
+private:
+  struct Range {
+    uintptr_t Begin;
+    uintptr_t End;
+    unsigned Shard;
+  };
+  std::vector<Range> Ranges;
+  bool Finalized = false;
+};
+
+/// Read-side facade over the per-shard StatsShard groups, shaped like
+/// the Tl2Stats surface harness code expects (`Stm.stats().aggregate()`).
+class ShardedStatsView {
+public:
+  explicit ShardedStatsView(ShardedStm &Stm) : S(&Stm) {}
+
+  /// Sum over every shard context's stats group.
+  StatsSnapshot aggregate() const;
+  uint64_t commits() const;
+  uint64_t aborts() const;
+
+  /// Zeroes every group. Only call while no transactions are running.
+  void reset();
+
+private:
+  ShardedStm *S;
+};
+
+/// One sharded STM runtime instance: N shard contexts plus the global
+/// commit sequencer and the instrumentation hooks (the same observer /
+/// gate / contention-manager surface as Tl2Stm). Workloads create one per
+/// run.
+class ShardedStm {
+public:
+  /// Shard index width inside combined (shard, stripe) lock keys; the
+  /// stripe index occupies the low bits. Combined keys sort by shard
+  /// first, which is what gives prepare its deadlock-free total order,
+  /// and are what onLockAcquire reports (globally unique across shards).
+  static constexpr unsigned ShardKeyShift = 32;
+
+  explicit ShardedStm(const ShardConfig &Config = ShardConfig());
+
+  ShardedStm(const ShardedStm &) = delete;
+  ShardedStm &operator=(const ShardedStm &) = delete;
+
+  /// Installs \p Obs as the event observer (nullptr to disable). Must not
+  /// be called while transactions are running.
+  void setObserver(TxEventObserver *Obs) { Observer = Obs; }
+
+  /// Installs \p G as the start gate (nullptr to disable). Must not be
+  /// called while transactions are running.
+  void setGate(StartGate *G) { Gate = G; }
+
+  /// Installs a contention manager overriding the config's backoff
+  /// policy (nullptr to restore it). Must not be called while
+  /// transactions are running.
+  void setContentionManager(ContentionManager *M) { Cm = M; }
+
+  /// Installs \p Obs as the per-access observer (nullptr to disable, the
+  /// default). Must not be called while transactions are running.
+  void setAccessObserver(TxAccessObserver *Obs) { AccessObs = Obs; }
+
+  /// Installs an explicit placement map (nullptr to restore pure
+  /// hashing). Must only be called at a quiescent point — no running
+  /// transactions, all prior commits drained — because it changes which
+  /// orec partition owns an address (see ShardPlacement).
+  void setPlacement(const ShardPlacement *P) {
+    Placement.store(P, std::memory_order_release);
+  }
+  const ShardPlacement *placement() const {
+    return Placement.load(std::memory_order_acquire);
+  }
+
+  const ShardConfig &config() const { return Cfg; }
+  unsigned shardCount() const { return Cfg.ShardCount; }
+
+  /// Global commit sequencer: the sole source of write versions.
+  VersionClock &clock() { return Clock; }
+
+  /// Home shard of \p Addr under the active placement + hash.
+  size_t shardFor(const void *Addr) const;
+
+  LockTable &lockTableOf(size_t Shard) { return Shards[Shard]->Locks; }
+  CommitRing &commitRingOf(size_t Shard) { return Shards[Shard]->Ring; }
+  /// Shard-local applied clock: raised to wv strictly after the shard's
+  /// stripe publishes, so a sample v proves every commit with wv <= v
+  /// has its locks visible (see file comment).
+  VersionClock &appliedClockOf(size_t Shard) { return Shards[Shard]->Applied; }
+  /// Per-shard-context telemetry group: commits/aborts homed at \p Shard.
+  Tl2Stats &shardStats(size_t Shard) { return Shards[Shard]->Stats; }
+
+  TxEventObserver *observer() const { return Observer; }
+  StartGate *gate() const { return Gate; }
+  ContentionManager *contentionManager() const { return Cm; }
+  TxAccessObserver *accessObserver() const { return AccessObs; }
+
+  /// Aggregated telemetry over all shard contexts, Tl2Stats-shaped.
+  ShardedStatsView stats() { return ShardedStatsView(*this); }
+
+private:
+  /// One shard context: an orec partition with its own commit queue,
+  /// applied clock, and stats group.
+  struct ShardContext {
+    ShardContext(const ShardConfig &Cfg)
+        : Locks(Cfg.LockTableBits, Cfg.StripeHash), Ring(Cfg.CommitRingBits) {
+    }
+    LockTable Locks;
+    CommitRing Ring;
+    VersionClock Applied;
+    Tl2Stats Stats;
+  };
+
+  ShardConfig Cfg;
+  VersionClock Clock;
+  std::vector<std::unique_ptr<ShardContext>> Shards;
+  std::atomic<const ShardPlacement *> Placement{nullptr};
+  TxEventObserver *Observer = nullptr;
+  StartGate *Gate = nullptr;
+  ContentionManager *Cm = nullptr;
+  TxAccessObserver *AccessObs = nullptr;
+};
+
+/// Per-thread sharded transaction descriptor: TL2 lazy (commit-time)
+/// conflict detection over the partitioned orec space. Reused across
+/// transactions; not thread-safe — one descriptor per worker thread. The
+/// retry loop (`run`) comes from the shared engine-family executor.
+///
+/// Only lazy detection is offered: encounter-time acquisition would take
+/// stripes in access order, which is incompatible with the ordered
+/// (shard, stripe) prepare that makes cross-shard waiting deadlock-free.
+class ShardedTxn : public TxnExecutor<ShardedTxn> {
+public:
+  ShardedTxn(ShardedStm &Stm, ThreadId Thread);
+
+  ShardedTxn(const ShardedTxn &) = delete;
+  ShardedTxn &operator=(const ShardedTxn &) = delete;
+
+  /// Transactional read of a raw 64-bit word.
+  uint64_t loadWord(const std::atomic<uint64_t> &Word);
+
+  /// Transactional (buffered) write of a raw 64-bit word.
+  void storeWord(std::atomic<uint64_t> &Word, uint64_t Value);
+
+  /// Typed transactional read of a TVar.
+  template <typename T> T load(const TVar<T> &Var) {
+    return TVar<T>::decode(loadWord(Var.word()));
+  }
+
+  /// Typed transactional write of a TVar. The value type is non-deduced
+  /// so integer literals convert to the variable's type.
+  template <typename T>
+  void store(TVar<T> &Var, std::type_identity_t<T> Value) {
+    storeWord(Var.word(), TVar<T>::encode(Value));
+  }
+
+  /// Explicitly aborts and retries the current transaction attempt.
+  [[noreturn]] void retryAbort();
+
+  ThreadId threadId() const { return Thread; }
+  TxId txId() const { return CurrentTx; }
+
+  /// Read version of the attempt in flight (exposed for tests).
+  uint64_t readVersion() const { return Rv; }
+  size_t readSetSize() const { return ReadSet.size(); }
+  size_t writeSetSize() const { return WriteLog.size(); }
+  /// Shards the attempt has read from / buffered writes to so far
+  /// (bitmasks; the write mask is only complete once commit classified
+  /// the write set). Exposed for tests and the steering hook.
+  uint64_t readShardMask() const { return ReadShardMask; }
+  uint64_t writeShardMask() const { return WriteShardMask; }
+  /// True while the descriptor samples rv from the global clock instead
+  /// of its home shard's applied clock (exposed for tests).
+  bool usesGlobalRv() const { return UseGlobalRv; }
+
+  /// Steering affinity hint: the workload-level group (e.g. key
+  /// partition) the *next* transactions operate on; recorded with each
+  /// commit so the steering learner can attribute cross-shard traffic to
+  /// a placeable unit. Sticky until changed; NoAffinity disables.
+  static constexpr uint32_t NoAffinity = ~uint32_t{0};
+  void setAffinityGroup(uint32_t Group) { AffinityGroup = Group; }
+  uint32_t affinityGroup() const { return AffinityGroup; }
+
+  /// Commit notification hook for the steering learner (shard/Steering.h):
+  /// receives (affinity group, touched-shard mask, cross-shard?) after
+  /// every writer commit. Per-descriptor, so only the steered workloads
+  /// pay the branch.
+  class CommitListener {
+  public:
+    virtual ~CommitListener() = default;
+    virtual void onShardCommit(ThreadId Thread, uint32_t Group,
+                               uint64_t ShardMask, bool CrossShard) = 0;
+  };
+  void setCommitListener(CommitListener *L) { Listener = L; }
+
+private:
+  friend class TxnExecutor<ShardedTxn>;
+
+  struct ReadEntry {
+    const std::atomic<uint64_t> *Stripe;
+    uint32_t Shard;
+  };
+  struct WriteEntry {
+    std::atomic<uint64_t> *Addr;
+    uint64_t Value;
+  };
+  struct AcquiredLock {
+    // stm-order: publish(Stripe) requires release-fence-before
+    std::atomic<uint64_t> *Stripe;
+    uint64_t Key; ///< (shard << ShardKeyShift) | stripe index
+    uint64_t PreviousWord;
+  };
+
+  /// Executor contract (engine/TxnExecutor.h).
+  ShardedStm &stm() { return S; }
+  StatsShard *shard() { return ThreadShard; }
+
+  void begin(TxId Tx);
+  /// Commits the attempt or reports the abort cause and throws. One code
+  /// path serves both classes: a single-shard write set degenerates to
+  /// the home shard's unchanged TL2 commit (one prepare group, no
+  /// waiting), a cross-shard one runs the ordered-prepare /
+  /// coordinated-publish 2PC.
+  void commitOrThrow(uint32_t PriorAborts);
+  void validateReadSet(TxThreadPair Self);
+
+  [[noreturn]] void abortOnOwner(TxThreadPair Owner, AbortSite Site);
+  [[noreturn]] void abortOnVersion(uint64_t Version, size_t Shard,
+                                   AbortSite Site);
+  [[noreturn]] void reportAbortAndThrow(const AbortEvent &E);
+
+  uint64_t opensCount() const { return ReadSet.size() + WriteLog.size(); }
+
+  void releaseAcquiredLocks();
+  /// Pre-lock word of a stripe this commit locked itself (must be in
+  /// Acquired; linear scan — only the suspicious slow pass pays it).
+  uint64_t preLockWordFor(const std::atomic<uint64_t> *Stripe) const;
+
+  bool lookupWriteSet(const std::atomic<uint64_t> *Addr, uint64_t &Value);
+
+  /// Stats group the attempt's outcome is recorded into: the lowest
+  /// touched shard (writes beat reads), or the thread's resident shard
+  /// when nothing was touched — so per-shard-context stats are keyed by
+  /// the data the transaction committed against.
+  StatsShard &outcomeStats() const;
+
+  static uint64_t filterSignature(const void *Addr) {
+    auto Key = reinterpret_cast<uintptr_t>(Addr) >> 3;
+    return uint64_t{1} << ((Key * 0x9e3779b97f4a7c15ULL) >> 58);
+  }
+
+  ShardedStm &S;
+  ThreadId Thread;
+  /// Thread's resident shard (Thread mod ShardCount): rv sampling source
+  /// and the fallback stats home.
+  size_t ResidentShard;
+  /// This thread's stats shard in the resident context, for the
+  /// executor's attempt-latency recording.
+  StatsShard *ThreadShard;
+  CommitListener *Listener = nullptr;
+  TxId CurrentTx = 0;
+  uint64_t Rv = 0;
+  /// Sticky escalation: sample rv from the global clock instead of the
+  /// resident shard's applied clock. Set when a version abort shows the
+  /// applied-clock snapshot lagging the data the workload actually
+  /// touches (otherwise a reader of a busier foreign shard would abort
+  /// on version forever); cleared when a commit's touched-shard mask was
+  /// resident-only, i.e. the lag cannot recur.
+  bool UseGlobalRv = false;
+  uint32_t AffinityGroup = NoAffinity;
+  uint64_t ReadShardMask = 0;
+  uint64_t WriteShardMask = 0;
+
+  MiniVector<ReadEntry, 64> ReadSet;
+  MiniVector<WriteEntry, 32> WriteLog;
+  PtrIndexMap<uint32_t, 5> WriteIndex;
+  uint64_t WriteFilter = 0;
+  MiniVector<uint64_t, 32> StripeScratch;
+  MiniVector<AcquiredLock, 32> Acquired;
+};
+
+} // namespace gstm
+
+#endif // GSTM_SHARD_SHARDED_H

@@ -49,6 +49,9 @@ void StatsSnapshot::merge(const StatsSnapshot &Other) {
   AttemptNanos += Other.AttemptNanos;
   CommitRingLookups += Other.CommitRingLookups;
   CommitRingMisses += Other.CommitRingMisses;
+  CrossShardCommits += Other.CrossShardCommits;
+  CrossShardAborts += Other.CrossShardAborts;
+  PrepareRetries += Other.PrepareRetries;
 }
 
 uint64_t StatsSnapshot::causeTotal() const {
@@ -88,6 +91,10 @@ StatsSnapshot ShardedStats::snapshotShard(size_t Index) const {
   Out.CommitRingLookups =
       S.CommitRingLookups.load(std::memory_order_relaxed);
   Out.CommitRingMisses = S.CommitRingMisses.load(std::memory_order_relaxed);
+  Out.CrossShardCommits =
+      S.CrossShardCommits.load(std::memory_order_relaxed);
+  Out.CrossShardAborts = S.CrossShardAborts.load(std::memory_order_relaxed);
+  Out.PrepareRetries = S.PrepareRetries.load(std::memory_order_relaxed);
   // Totals are derived, not stored: the shard's hot path only maintains
   // the breakdowns.
   Out.Commits = Out.retryTotal();
@@ -131,5 +138,8 @@ void ShardedStats::reset() {
     S.AttemptNanos.store(0, std::memory_order_relaxed);
     S.CommitRingLookups.store(0, std::memory_order_relaxed);
     S.CommitRingMisses.store(0, std::memory_order_relaxed);
+    S.CrossShardCommits.store(0, std::memory_order_relaxed);
+    S.CrossShardAborts.store(0, std::memory_order_relaxed);
+    S.PrepareRetries.store(0, std::memory_order_relaxed);
   }
 }

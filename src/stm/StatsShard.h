@@ -95,6 +95,15 @@ struct alignas(256) StatsShard {
   /// visible in the JSON export instead of silent.
   std::atomic<uint64_t> CommitRingLookups{0};
   std::atomic<uint64_t> CommitRingMisses{0};
+  /// Sharded-tier telemetry (shard/Sharded.h); all zero on unsharded
+  /// runtimes. CrossShardCommits counts writer commits whose write set
+  /// spanned >= 2 shard contexts (the 2PC path — the quantity steering
+  /// minimizes); CrossShardAborts counts aborted attempts that had
+  /// touched >= 2 shards when they died; PrepareRetries counts bounded
+  /// spin iterations on locked stripes during cross-shard prepare.
+  std::atomic<uint64_t> CrossShardCommits{0};
+  std::atomic<uint64_t> CrossShardAborts{0};
+  std::atomic<uint64_t> PrepareRetries{0};
 
   /// Single-writer increment: plain mov/add/mov instead of a locked RMW.
   static void bump(std::atomic<uint64_t> &C, uint64_t Delta = 1) {
@@ -126,6 +135,10 @@ struct alignas(256) StatsShard {
     if (!Hit)
       bump(CommitRingMisses);
   }
+
+  void recordCrossShardCommit() { bump(CrossShardCommits); }
+  void recordCrossShardAbort() { bump(CrossShardAborts); }
+  void recordPrepareRetry() { bump(PrepareRetries); }
 };
 
 /// Plain (non-atomic) copy of one shard or of the whole-runtime
@@ -142,6 +155,9 @@ struct StatsSnapshot {
   uint64_t AttemptNanos = 0;
   uint64_t CommitRingLookups = 0;
   uint64_t CommitRingMisses = 0;
+  uint64_t CrossShardCommits = 0;
+  uint64_t CrossShardAborts = 0;
+  uint64_t PrepareRetries = 0;
 
   void merge(const StatsSnapshot &Other);
 
@@ -170,7 +186,8 @@ struct StatsSnapshot {
   /// exactly to the aggregate counters.
   bool consistent() const {
     return causeTotal() == Aborts && siteTotal() == Aborts &&
-           retryTotal() == Commits;
+           retryTotal() == Commits && CrossShardCommits <= Commits &&
+           CrossShardAborts <= Aborts;
   }
 };
 

@@ -103,6 +103,18 @@ if(NOT BtreeFuzzRc EQUAL 0)
   message(FATAL_ERROR "btree fuzz failed under asan (${BtreeFuzzRc})")
 endif()
 
+# Sharded tier: the 2PC prepare/publish walk iterates per-shard lock
+# tables and MiniVector-backed acquisition logs — exactly where an
+# off-by-one over the combined (shard, stripe) keys would read out of
+# bounds. Both commit orders sweep the grouped publish paths.
+execute_process(
+  COMMAND ${BUILD_DIR}/tools/check_fuzz --workload=sharded --iters=32
+          --commit-order=both
+  RESULT_VARIABLE ShardFuzzRc)
+if(NOT ShardFuzzRc EQUAL 0)
+  message(FATAL_ERROR "sharded fuzz failed under asan (${ShardFuzzRc})")
+endif()
+
 # Model-loader robustness: the serialization round-trip and corruption
 # fuzz suites exercise every bounds check in the deserializer — a single
 # out-of-range read on a mutated payload trips ASan/UBSan here even if

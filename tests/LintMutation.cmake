@@ -20,7 +20,7 @@ endforeach()
 function(reset_tree)
   file(REMOVE_RECURSE ${WORK_DIR}/src)
   file(COPY ${SOURCE_DIR}/src/stm ${SOURCE_DIR}/src/libtm
-            ${SOURCE_DIR}/src/engine
+            ${SOURCE_DIR}/src/engine ${SOURCE_DIR}/src/shard
        DESTINATION ${WORK_DIR}/src)
 endfunction()
 
@@ -78,12 +78,35 @@ mutate(src/engine/OrecEager.h "${SEQ_FENCE}" "")
 run_lint(orec-fence-removed 1 "[O3]"
          "OrecEagerPolicy::commit single-fence commit")
 
+reset_tree()
+mutate(src/shard/Sharded.cpp "${SEQ_FENCE}" "")
+run_lint(shard-fence-removed 1 "[O3]"
+         "ShardedTxn::commitOrThrow cross-shard 2PC")
+
 # Weakening the fence is as fatal as deleting it.
 reset_tree()
 mutate(src/stm/Tl2.cpp "${SEQ_FENCE}"
        "std::atomic_thread_fence(std::memory_order_acquire);")
 run_lint(tl2-fence-weakened 1 "[O3]"
          "Tl2Txn::commitOrThrow single-fence commit")
+
+reset_tree()
+mutate(src/shard/Sharded.cpp "${SEQ_FENCE}"
+       "std::atomic_thread_fence(std::memory_order_acquire);")
+run_lint(shard-fence-weakened 1 "[O3]"
+         "ShardedTxn::commitOrThrow cross-shard 2PC")
+
+# Downgrading the coordinated publish's grouped release stripe stores to
+# relaxed (the torn-fault and standard walks share the spelling) leaves
+# no dominating release fence on the standard path -> O1 via the
+# publish(Stripe) contract on the cached stripe pointers.
+reset_tree()
+mutate(src/shard/Sharded.cpp
+       "Acquired[J].Stripe->store(LockTable::encodeVersion(Wv),
+                                    std::memory_order_release);"
+       "Acquired[J].Stripe->store(LockTable::encodeVersion(Wv),
+                                    std::memory_order_relaxed);")
+run_lint(shard-torn-publish 1 "[O1]" "Stripe")
 
 # Torn publish: downgrading a standard-path version publish to relaxed
 # leaves no dominating release fence -> O1.

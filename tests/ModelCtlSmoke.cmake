@@ -48,6 +48,39 @@ if(NOT ListRc EQUAL 0)
   message(FATAL_ERROR "model_ctl list failed (${ListRc})")
 endif()
 
+# A model trained for the sharded tier must publish under a different
+# store key than the unsharded save above: equal keys would let a
+# 4-shard model silently warm-start an unsharded run. The save output
+# names the container path, so distinct keys show as distinct paths.
+execute_process(
+  COMMAND ${MODEL_CTL} save --workload=kmeans --size=small --threads=4
+          --runs=1 --shards=4 --store=${WORK_DIR}/store
+  OUTPUT_VARIABLE ShardSaveOut
+  RESULT_VARIABLE ShardSaveRc)
+if(NOT ShardSaveRc EQUAL 0)
+  message(FATAL_ERROR "model_ctl save --shards=4 failed (${ShardSaveRc})")
+endif()
+string(REGEX MATCH "published [^ ]+ -> ([^\n]+)" _ "${ShardSaveOut}")
+set(SHARD_PATH "${CMAKE_MATCH_1}")
+execute_process(
+  COMMAND ${MODEL_CTL} save --workload=kmeans --size=small --threads=4
+          --runs=1 --store=${WORK_DIR}/store
+  OUTPUT_VARIABLE PlainSaveOut
+  RESULT_VARIABLE PlainSaveRc)
+if(NOT PlainSaveRc EQUAL 0)
+  message(FATAL_ERROR "model_ctl save (unsharded rekey) failed "
+      "(${PlainSaveRc})")
+endif()
+string(REGEX MATCH "published [^ ]+ -> ([^\n]+)" _ "${PlainSaveOut}")
+set(PLAIN_PATH "${CMAKE_MATCH_1}")
+if(NOT SHARD_PATH OR NOT PLAIN_PATH)
+  message(FATAL_ERROR "model_ctl save did not report published paths")
+endif()
+if(SHARD_PATH STREQUAL PLAIN_PATH)
+  message(FATAL_ERROR "--shards=4 and the unsharded save published under "
+      "the same store key: ${SHARD_PATH}")
+endif()
+
 # Acceptance check: a model diffed against itself reports identity.
 execute_process(
   COMMAND ${MODEL_CTL} diff ${MODEL} ${MODEL}

@@ -25,7 +25,7 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR}
           --target stats_test tl2_test minivector_test latency_histogram_test
-                   tmds_test engine_test
+                   tmds_test engine_test shard_test
   RESULT_VARIABLE BuildRc)
 if(NOT BuildRc EQUAL 0)
   message(FATAL_ERROR "tsan sub-build compile failed (${BuildRc})")
@@ -83,6 +83,19 @@ execute_process(
   RESULT_VARIABLE HistRc)
 if(NOT HistRc EQUAL 0)
   message(FATAL_ERROR "latency_histogram_test failed under tsan (${HistRc})")
+endif()
+
+# The sharded tier's cross-shard 2PC publishes one commit through
+# several lock tables and applied clocks behind a single release fence;
+# the concurrent-increments test races four real writer threads through
+# that path, and the steering listener's SPSC lanes ride along. TSan
+# sees the relaxed stripe stores directly against racing validators.
+execute_process(
+  COMMAND ${BUILD_DIR}/tests/shard_test
+          --gtest_filter=TwoShardFixture.*:SteeringTest.*
+  RESULT_VARIABLE ShardRc)
+if(NOT ShardRc EQUAL 0)
+  message(FATAL_ERROR "shard_test failed under tsan (${ShardRc})")
 endif()
 
 # Containers are single-owner by design; running their suite under TSan

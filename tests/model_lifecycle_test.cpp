@@ -21,6 +21,7 @@
 #include "model/OnlineLearner.h"
 #include "model/Serialize.h"
 #include "model/Store.h"
+#include "shard/ShardConfig.h"
 #include "stamp/Kmeans.h"
 #include "support/SplitMix64.h"
 
@@ -350,6 +351,54 @@ TEST_F(StoreFixture, RefusesKeyMismatch) {
 
   // The genuine key still loads.
   EXPECT_TRUE(Store.load(Trained).ok());
+}
+
+TEST_F(StoreFixture, ShardConfigSelectsDistinctStoreKeys) {
+  // Every knob in the canonical shard rendering must move the config
+  // hash: a model trained under 4 shards (or a different address hash,
+  // or steering) describes a different conflict structure and must not
+  // collide with the unsharded entry.
+  ShardConfig Base;
+  Base.ShardCount = 1;
+  ShardConfig Four = Base;
+  Four.ShardCount = 4;
+  ShardConfig Fib = Four;
+  Fib.ShardHash = ShardHashKind::Fibonacci;
+  ShardConfig Steered = Four;
+  Steered.Steering = true;
+
+  EXPECT_EQ(shardConfigCanonical(Base), "shards=1;shard-hash=mix;steer=0;");
+  EXPECT_NE(shardConfigCanonical(Base), shardConfigCanonical(Four));
+  EXPECT_NE(shardConfigCanonical(Four), shardConfigCanonical(Fib));
+  EXPECT_NE(shardConfigCanonical(Four), shardConfigCanonical(Steered));
+
+  auto KeyWith = [](const ShardConfig &SC) {
+    ModelKey K;
+    K.Workload = "kmeans";
+    K.Threads = 8;
+    K.ConfigHash =
+        hashConfigString("grouping=sequence;" + shardConfigCanonical(SC));
+    return K;
+  };
+  ModelKey Plain = KeyWith(Base);
+  ModelKey Sharded = KeyWith(Four);
+  EXPECT_NE(Plain.ConfigHash, Sharded.ConfigHash);
+  EXPECT_NE(Plain.id(), Sharded.id());
+  EXPECT_NE(KeyWith(Fib).ConfigHash, Sharded.ConfigHash);
+  EXPECT_NE(KeyWith(Steered).ConfigHash, Sharded.ConfigHash);
+
+  // Both live side by side in one store and load back independently.
+  ModelStore Store(Dir);
+  Tsa PlainModel = randomModel(0x51a4);
+  Tsa ShardModel = randomModel(0x51a5);
+  ASSERT_EQ(Store.save(Plain, PlainModel, nullptr), ModelIoStatus::Ok);
+  ASSERT_EQ(Store.save(Sharded, ShardModel, nullptr), ModelIoStatus::Ok);
+  EXPECT_EQ(Store.list().size(), 2u);
+  ModelLoadResult A = Store.load(Plain);
+  ModelLoadResult B = Store.load(Sharded);
+  ASSERT_TRUE(A.ok() && B.ok());
+  EXPECT_EQ(serializeModel(*A.Model), serializeModel(PlainModel));
+  EXPECT_EQ(serializeModel(*B.Model), serializeModel(ShardModel));
 }
 
 TEST_F(StoreFixture, OverwriteReplacesEntryWithoutTempDebris) {

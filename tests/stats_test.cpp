@@ -45,6 +45,10 @@ TEST(StatsShardTest, RecordersFeedTheRightCounters) {
   Shard.recordAttempt(1500);
   Shard.recordCommitRingLookup(/*Hit=*/true);
   Shard.recordCommitRingLookup(/*Hit=*/false);
+  Shard.recordCrossShardCommit();
+  Shard.recordCrossShardAbort();
+  Shard.recordPrepareRetry();
+  Shard.recordPrepareRetry();
 
   StatsSnapshot Snap = S.snapshotShard(3);
   EXPECT_EQ(Snap.Commits, 2u);
@@ -61,6 +65,9 @@ TEST(StatsShardTest, RecordersFeedTheRightCounters) {
   EXPECT_EQ(Snap.CommitRingLookups, 2u);
   EXPECT_EQ(Snap.CommitRingMisses, 1u);
   EXPECT_DOUBLE_EQ(Snap.commitRingMissRatio(), 0.5);
+  EXPECT_EQ(Snap.CrossShardCommits, 1u);
+  EXPECT_EQ(Snap.CrossShardAborts, 1u);
+  EXPECT_EQ(Snap.PrepareRetries, 2u);
   EXPECT_TRUE(Snap.consistent());
 
   // Other shards are untouched.
@@ -87,6 +94,8 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   A.AttemptNanos = 400;
   A.CommitRingLookups = 2;
   A.CommitRingMisses = 1;
+  A.CrossShardCommits = 1;
+  A.PrepareRetries = 5;
   B.Commits = 2;
   B.ReadOnlyCommits = 2;
   B.Aborts = 2;
@@ -97,6 +106,9 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   B.AttemptNanos = 200;
   B.CommitRingLookups = 3;
   B.CommitRingMisses = 3;
+  B.CrossShardCommits = 1;
+  B.CrossShardAborts = 2;
+  B.PrepareRetries = 1;
 
   A.merge(B);
   EXPECT_EQ(A.Commits, 5u);
@@ -110,6 +122,9 @@ TEST(StatsShardTest, SnapshotMergeSumsEveryField) {
   EXPECT_EQ(A.AttemptNanos, 600u);
   EXPECT_EQ(A.CommitRingLookups, 5u);
   EXPECT_EQ(A.CommitRingMisses, 4u);
+  EXPECT_EQ(A.CrossShardCommits, 2u);
+  EXPECT_EQ(A.CrossShardAborts, 2u);
+  EXPECT_EQ(A.PrepareRetries, 6u);
   EXPECT_TRUE(A.consistent());
   EXPECT_DOUBLE_EQ(A.meanAttemptNanos(), 75.0);
 }
@@ -599,4 +614,37 @@ TEST(JsonTest, RingCountersSurviveExportParseRoundtrip) {
   EXPECT_EQ(Back->CommitRingLookups, 7u);
   EXPECT_EQ(Back->CommitRingMisses, 5u);
   EXPECT_DOUBLE_EQ(Back->commitRingMissRatio(), 5.0 / 7.0);
+}
+
+TEST(JsonTest, ShardCountersSurviveExportParseRoundtrip) {
+  StatsSnapshot S;
+  S.Commits = 4;
+  S.Aborts = 3;
+  S.AbortsByCause[size_t(AbortCauseKind::Explicit)] = 3;
+  S.AbortsBySite[size_t(AbortSite::Explicit)] = 3;
+  S.RetryHistogram[0] = 4;
+  S.CrossShardCommits = 2;
+  S.CrossShardAborts = 1;
+  S.PrepareRetries = 9;
+  ASSERT_TRUE(S.consistent());
+
+  JsonWriter W;
+  writeTelemetryJson(W, S, {});
+  std::optional<JsonValue> Doc = parseJson(W.str());
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->find("cross_shard_commits")->asU64(), 2u);
+  EXPECT_EQ(Doc->find("cross_shard_aborts")->asU64(), 1u);
+  EXPECT_EQ(Doc->find("prepare_retries")->asU64(), 9u);
+
+  std::optional<StatsSnapshot> Back = snapshotFromJson(*Doc);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->CrossShardCommits, 2u);
+  EXPECT_EQ(Back->CrossShardAborts, 1u);
+  EXPECT_EQ(Back->PrepareRetries, 9u);
+  EXPECT_TRUE(Back->consistent());
+
+  // A cross-shard total exceeding the commits counter is a torn export:
+  // consistent() must reject it.
+  Back->CrossShardCommits = Back->Commits + 1;
+  EXPECT_FALSE(Back->consistent());
 }

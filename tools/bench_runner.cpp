@@ -39,6 +39,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench/OltpBench.h"
+#include "bench/ShardBench.h"
 #include "core/Runner.h"
 #include "stamp/Registry.h"
 #include "stamp/SizeClass.h"
@@ -374,6 +375,67 @@ void runOltpSuite(unsigned Threads, uint64_t Seed, bool Smoke,
   }
 }
 
+/// Sharded tier: a group-local mix and a deliberately cross-shard-heavy
+/// mix at shard counts 1/4/8, unsteered and (above one shard) steered.
+/// Each case publishes ns/op plus the cross-shard commit ratio — the
+/// metric the steering pass exists to reduce, so a steered ratio
+/// regression fails bench_regress just like a latency one.
+void runShardSuite(unsigned Threads, unsigned Repeats, uint64_t Seed,
+                   bool Smoke, std::vector<Entry> &Entries) {
+  struct ShardCase {
+    const char *MixName;
+    unsigned CrossPerMille;
+  };
+  for (unsigned Shards : {1u, 4u, 8u}) {
+    for (const ShardCase &C :
+         {ShardCase{"local", 0}, ShardCase{"xshard", 500}}) {
+      // Steering a single shard is a no-op; skip the redundant axis.
+      for (unsigned Steer = 0; Steer < (Shards > 1 ? 2u : 1u); ++Steer) {
+        std::vector<double> NsPerOp, Ratio;
+        for (unsigned R = 0; R < Repeats; ++R) {
+          ShardBenchConfig Cfg;
+          Cfg.Threads = Threads;
+          Cfg.ShardCount = Shards;
+          Cfg.Groups = Smoke ? 16 : 32;
+          Cfg.CellsPerGroup = Smoke ? 16 : 32;
+          Cfg.OpsPerThread = Smoke ? 2000 : 40000;
+          Cfg.WarmupOpsPerThread = Smoke ? 1000 : 8000;
+          Cfg.CrossPerMille = C.CrossPerMille;
+          Cfg.Steering = Steer != 0;
+          Cfg.Seed = Seed + R;
+          ShardBenchResult Res = runShardBench(Cfg);
+          if (!Res.Ok) {
+            std::fprintf(stderr,
+                         "bench_runner: shard %s s%u failed verification "
+                         "(%s) — refusing to record a perf number\n",
+                         C.MixName, Shards, Res.Error.c_str());
+            std::exit(2);
+          }
+          NsPerOp.push_back(Res.nsPerOp());
+          Ratio.push_back(Res.crossShardRatio());
+        }
+        const std::string Name = std::string(C.MixName) + "_s" +
+                                 std::to_string(Shards) +
+                                 (Steer ? "_steer" : "");
+        Entry E;
+        E.Suite = "shard";
+        E.Name = Name;
+        E.Threads = Threads;
+        E.Unit = "ns/op";
+        E.Agg = aggregate(std::move(NsPerOp));
+        Entries.push_back(std::move(E));
+        Entry X;
+        X.Suite = "shard";
+        X.Name = Name + "_xratio";
+        X.Threads = Threads;
+        X.Unit = "ratio";
+        X.Agg = aggregate(std::move(Ratio));
+        Entries.push_back(std::move(X));
+      }
+    }
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -387,7 +449,8 @@ int main(int Argc, char **Argv) {
           {"micro-bin", "PATH",
            "micro_stm_ops binary (default <exe>/../../bench/micro_stm_ops)"},
           {"suite", "S",
-           "all, micro, engines, stamp, synquake or oltp (default all)"},
+           "all, micro, engines, stamp, synquake, oltp or shard "
+           "(default all)"},
           {"engine", "E",
            "restrict the engines suite to one policy engine: orec-eager, "
            "tlrw or 2pl-undo (default: all three)"},
@@ -464,6 +527,8 @@ int main(int Argc, char **Argv) {
     runSynQuakeSuite(Threads, Repeats, Seed, Smoke, Entries);
   if (All || Suite == "oltp")
     runOltpSuite(Threads, Seed, Smoke, Entries);
+  if (All || Suite == "shard")
+    runShardSuite(Threads, Repeats, Seed, Smoke, Entries);
 
   if (Entries.empty()) {
     std::fprintf(stderr, "bench_runner: unknown --suite=%s\n",

@@ -24,6 +24,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "check/Fuzz.h"
+#include "check/ShardFuzz.h"
 #include "check/TmdsFuzz.h"
 #include "support/Options.h"
 
@@ -45,11 +46,13 @@ int main(int Argc, char **Argv) {
            "or ref (default all)"},
           {"workload", "W",
            "rmw (flat read-modify-write vars), skiplist or btree "
-           "(transactional map over src/tmds; default rmw)"},
+           "(transactional map over src/tmds), or sharded (key-partitioned "
+           "rmw spanning shard contexts; default rmw)"},
           {"threads", "T", "worker threads per iteration"},
           {"txns", "K", "transactions per thread"},
-          {"vars", "V", "shared variables in the workload (rmw)"},
+          {"vars", "V", "shared variables in the workload (rmw/sharded)"},
           {"keys", "K", "keyspace size (skiplist/btree; default 32)"},
+          {"shards", "N", "shard contexts (sharded workload; default 4)"},
           {"ops", "N", "max operations per transaction"},
           {"preempt-shift", "N", "preemption-point density (power of two)"},
           {"perturb-shift", "N", "schedule-perturbation density"},
@@ -70,6 +73,9 @@ int main(int Argc, char **Argv) {
           {"inject-skip-drain", "",
            "fault injection: skip the tlrw writer's reader-byte drain "
            "(checkers must object)"},
+          {"inject-torn-coordinated", "",
+           "fault injection: tear the coordinated cross-shard publish "
+           "(sharded workload; checkers must object)"},
       });
   Options Opts = Cli.parseOrExit(Argc, Argv);
 
@@ -114,26 +120,55 @@ int main(int Argc, char **Argv) {
   }
 
   // Structure workloads drive the tmds containers through the same
-  // backends/checkers; the flat rmw workload stays the default.
+  // backends/checkers; the sharded workload drives the partitioned-orec
+  // tier (check/ShardFuzz.h); the flat rmw workload stays the default.
   const std::string WorkloadName = Opts.getString("workload", "rmw");
-  const bool TmdsWorkload = WorkloadName != "rmw";
+  const bool ShardWorkload = WorkloadName == "sharded";
+  const bool TmdsWorkload = WorkloadName != "rmw" && !ShardWorkload;
   TmdsFuzzConfig TCfg;
   if (TmdsWorkload &&
       !tmdsStructureFromName(WorkloadName, TCfg.Structure)) {
     std::fprintf(stderr,
-                 "check_fuzz: unknown --workload=%s (want rmw, skiplist "
-                 "or btree)\n",
+                 "check_fuzz: unknown --workload=%s (want rmw, skiplist, "
+                 "btree or sharded)\n",
                  WorkloadName.c_str());
     return 2;
   }
-  if (TmdsWorkload &&
+  if (WorkloadName != "rmw" &&
       (Cfg.Fault.SkipReadValidation || Cfg.Fault.TornVersionPublish ||
        Cfg.EngineFault.SkipUndoReplay || Cfg.EngineFault.SkipReaderDrain)) {
     std::fprintf(stderr,
-                 "check_fuzz: fault injection only applies to "
+                 "check_fuzz: this fault injection only applies to "
                  "--workload=rmw\n");
     return 2;
   }
+  ShardFuzzConfig SCfg;
+  SCfg.Fault.TornCoordinatedPublish =
+      Opts.getBool("inject-torn-coordinated", false);
+  if (SCfg.Fault.TornCoordinatedPublish && !ShardWorkload) {
+    std::fprintf(stderr,
+                 "check_fuzz: --inject-torn-coordinated only applies to "
+                 "--workload=sharded\n");
+    return 2;
+  }
+  if (ShardWorkload && !All) {
+    std::fprintf(stderr,
+                 "check_fuzz: --workload=sharded runs its own variant set "
+                 "(sharded, sharded-1, ref); --backend is not applicable\n");
+    return 2;
+  }
+  SCfg.Threads = static_cast<unsigned>(Opts.getInt("threads", SCfg.Threads));
+  SCfg.TxnsPerThread =
+      static_cast<unsigned>(Opts.getInt("txns", SCfg.TxnsPerThread));
+  SCfg.Vars = static_cast<unsigned>(Opts.getInt("vars", SCfg.Vars));
+  SCfg.MaxOpsPerTxn =
+      static_cast<unsigned>(Opts.getInt("ops", SCfg.MaxOpsPerTxn));
+  SCfg.ShardCount =
+      static_cast<unsigned>(Opts.getInt("shards", SCfg.ShardCount));
+  SCfg.PreemptShift =
+      static_cast<unsigned>(Opts.getInt("preempt-shift", SCfg.PreemptShift));
+  SCfg.PerturbShift =
+      static_cast<unsigned>(Opts.getInt("perturb-shift", SCfg.PerturbShift));
   TCfg.Threads =
       static_cast<unsigned>(Opts.getInt("threads", TCfg.Threads));
   TCfg.TxnsPerThread =
@@ -173,10 +208,38 @@ int main(int Argc, char **Argv) {
   }
 
   uint64_t Failures = 0, Attempts = 0, Commits = 0, Yields = 0;
+  uint64_t CrossCommits = 0;
   for (bool SingleFence : Orders) {
   Cfg.SingleFenceCommit = SingleFence;
   for (uint64_t I = 0; I < Count; ++I) {
     const uint64_t Seed = First + I;
+    if (ShardWorkload) {
+      SCfg.SingleFenceCommit = SingleFence;
+      ShardDifferentialResult D = runShardDifferential(Seed, SCfg);
+      for (const auto &[Variant, R] : D.PerVariant) {
+        Attempts += R.Attempts;
+        Commits += R.Committed;
+        Yields += R.PerturbYields;
+        CrossCommits += R.CrossShardCommits;
+        if (Verbose || !R.passed())
+          std::printf("seed %llu %-9s %s%s%s\n",
+                      static_cast<unsigned long long>(Seed),
+                      Variant.c_str(), R.passed() ? "ok" : "FAIL: ",
+                      R.passed() ? "" : R.Error.c_str(),
+                      R.Check.ok() ? "" : " [checker non-Ok]");
+      }
+      if (!D.passed()) {
+        ++Failures;
+        std::printf(
+            "FAIL seed %llu: %s\n"
+            "  repro: check_fuzz --workload=sharded --shards=%u "
+            "--seed=%llu --commit-order=%s\n",
+            static_cast<unsigned long long>(Seed), D.Error.c_str(),
+            SCfg.ShardCount, static_cast<unsigned long long>(Seed),
+            SingleFence ? "single-fence" : "standard");
+      }
+      continue;
+    }
     if (TmdsWorkload) {
       TCfg.SingleFenceCommit = SingleFence;
       if (All) {
@@ -271,6 +334,9 @@ int main(int Argc, char **Argv) {
   }
   }
 
+  if (ShardWorkload)
+    std::printf("check_fuzz: %llu cross-shard commit(s) across the sweep\n",
+                static_cast<unsigned long long>(CrossCommits));
   std::printf("check_fuzz: %llu seed(s) x %zu ordering(s), workload %s, "
               "backend %s: %llu failure(s); "
               "%llu attempts / %llu commits, %llu injected yields\n",

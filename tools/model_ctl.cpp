@@ -29,6 +29,7 @@
 #include "core/Experiment.h"
 #include "model/Serialize.h"
 #include "model/Store.h"
+#include "shard/ShardConfig.h"
 #include "stamp/Registry.h"
 #include "support/Options.h"
 
@@ -46,16 +47,34 @@ void reportLoadFailure(const std::string &Path, const ModelLoadResult &R) {
 
 /// Key under which `save --store` publishes: the workload/thread
 /// coordinates plus a hash of the knobs that shape the trained state
-/// space.
+/// space. The shard layout is part of that space — conflict structure
+/// under 4 shards is not the structure under 1 — so the canonical shard
+/// rendering is folded in and models trained under different shard
+/// configurations land under distinct keys.
 ModelKey keyFor(const std::string &Workload, unsigned Threads,
-                SizeClass Size) {
+                SizeClass Size, const ShardConfig &Shards) {
   ModelKey Key;
   Key.Workload = Workload;
   Key.Threads = Threads;
   Key.ConfigHash = hashConfigString(std::string("grouping=sequence;") +
                                     "size=" + sizeClassName(Size) +
-                                    ";preempt=5");
+                                    ";preempt=5;" +
+                                    shardConfigCanonical(Shards));
   return Key;
+}
+
+/// Shard coordinates from the command line; shards=1 (the unsharded
+/// tier) is the default and keeps its own stable key.
+ShardConfig shardConfigFor(const Options &Opts, bool &Ok) {
+  ShardConfig SC;
+  SC.ShardCount = static_cast<unsigned>(Opts.getInt("shards", 1));
+  SC.Steering = Opts.getBool("steer", false);
+  std::string HashName = Opts.getString("shard-hash", "mix");
+  Ok = shardHashFromName(HashName, SC.ShardHash);
+  if (!Ok)
+    std::fprintf(stderr, "error: unknown shard hash '%s' (mix|fib)\n",
+                 HashName.c_str());
+  return SC;
 }
 
 int cmdSave(const Options &Opts) {
@@ -70,6 +89,10 @@ int cmdSave(const Options &Opts) {
   unsigned Threads = static_cast<unsigned>(Opts.getInt("threads", 8));
   unsigned Runs = static_cast<unsigned>(Opts.getInt("runs", 5));
   SizeClass Size = parseSizeClass(Opts.getString("size", "medium"));
+  bool ShardsOk = false;
+  ShardConfig Shards = shardConfigFor(Opts, ShardsOk);
+  if (!ShardsOk)
+    return 2;
 
   auto W = createStampWorkload(Workload, Size);
   if (!W) {
@@ -98,7 +121,7 @@ int cmdSave(const Options &Opts) {
   }
   if (!StoreDir.empty()) {
     ModelStore Store(StoreDir);
-    ModelKey Key = keyFor(Workload, Threads, Size);
+    ModelKey Key = keyFor(Workload, Threads, Size, Shards);
     std::string Detail;
     if (Store.save(Key, Model, &Detail) != ModelIoStatus::Ok) {
       std::fprintf(stderr, "error: %s\n", Detail.c_str());
@@ -254,6 +277,10 @@ int main(int Argc, char **Argv) {
           {"size", "CLASS", "input size: small|medium|large"},
           {"out", "FILE", "write the trained model here (save)"},
           {"store", "DIR", "model store directory (save/list)"},
+          {"shards", "N", "shard contexts the model is keyed for "
+                          "(default 1 = unsharded)"},
+          {"shard-hash", "KIND", "address->shard hash: mix|fib"},
+          {"steer", "", "key the model for steered placement"},
           {"tfactor", "X", "analyzer threshold factor (info)"},
           {"json", "", "info: dump the JSON interchange document"},
           {"run", "", "load: warm-start a guided measurement"},

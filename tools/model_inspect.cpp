@@ -126,6 +126,12 @@ static bool printAndVerifySnapshot(const char *Label,
   if (Snap->Attempts)
     std::printf("  attempts:  %lu (mean latency %.0f ns)\n", Snap->Attempts,
                 Snap->meanAttemptNanos());
+  if (Snap->CrossShardCommits || Snap->CrossShardAborts ||
+      Snap->PrepareRetries)
+    std::printf("  sharding:  %lu cross-shard commits, %lu cross-shard "
+                "aborts, %lu prepare retries\n",
+                Snap->CrossShardCommits, Snap->CrossShardAborts,
+                Snap->PrepareRetries);
 
   bool Ok = true;
   if (Snap->causeTotal() != Snap->Aborts) {
@@ -152,6 +158,18 @@ static bool printAndVerifySnapshot(const char *Label,
     std::fprintf(stderr,
                  "MISMATCH: %lu read-only commits exceed %lu commits\n",
                  Snap->ReadOnlyCommits, Snap->Commits);
+    Ok = false;
+  }
+  if (Snap->CrossShardCommits > Snap->Commits) {
+    std::fprintf(stderr,
+                 "MISMATCH: %lu cross-shard commits exceed %lu commits\n",
+                 Snap->CrossShardCommits, Snap->Commits);
+    Ok = false;
+  }
+  if (Snap->CrossShardAborts > Snap->Aborts) {
+    std::fprintf(stderr,
+                 "MISMATCH: %lu cross-shard aborts exceed %lu aborts\n",
+                 Snap->CrossShardAborts, Snap->Aborts);
     Ok = false;
   }
   std::printf("  invariants: %s\n\n", Ok ? "ok" : "VIOLATED");
